@@ -1,0 +1,196 @@
+// Benchmarks regenerating every experiment in DESIGN.md's per-experiment
+// index (one per theorem / analytical claim of the paper), plus wall-clock
+// micro-benchmarks of the core operations.
+//
+// The experiment benchmarks report their headline measurements through
+// b.ReportMetric, so `go test -bench . -benchmem` prints, next to the usual
+// ns/op, the I/O-model quantities the theorems bound (the deterministic
+// primary metric — wall-clock numbers include GC noise, the I/O counts do
+// not).
+package secidx
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/entropy"
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// benchExperiment runs one DESIGN.md experiment per benchmark iteration.
+func benchExperiment(b *testing.B, run func(experiments.Scale) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1SpaceVsSigma(b *testing.B)    { benchExperiment(b, experiments.E1SpaceVsSigma) }
+func BenchmarkE2QueryVsRange(b *testing.B)    { benchExperiment(b, experiments.E2QueryVsRange) }
+func BenchmarkE3EntropySweep(b *testing.B)    { benchExperiment(b, experiments.E3EntropySweep) }
+func BenchmarkE4TradeOff(b *testing.B)        { benchExperiment(b, experiments.E4TradeOff) }
+func BenchmarkE5ApproxEps(b *testing.B)       { benchExperiment(b, experiments.E5ApproxEps) }
+func BenchmarkE6Append(b *testing.B)          { benchExperiment(b, experiments.E6Append) }
+func BenchmarkE7PointIndex(b *testing.B)      { benchExperiment(b, experiments.E7PointIndex) }
+func BenchmarkE8Dynamic(b *testing.B)         { benchExperiment(b, experiments.E8Dynamic) }
+func BenchmarkE9RIDIntersection(b *testing.B) { benchExperiment(b, experiments.E9RIDIntersection) }
+func BenchmarkE10OutputOptimality(b *testing.B) {
+	benchExperiment(b, experiments.E10OutputOptimality)
+}
+func BenchmarkA1Stride(b *testing.B)         { benchExperiment(b, experiments.A1Stride) }
+func BenchmarkA2Branching(b *testing.B)      { benchExperiment(b, experiments.A2Branching) }
+func BenchmarkA3PointBranching(b *testing.B) { benchExperiment(b, experiments.A3PointBranching) }
+
+// --- Wall-clock micro-benchmarks with I/O-model metrics attached. ---
+
+func benchColumn(n, sigma int) workload.Column {
+	return workload.Uniform(n, sigma, 1)
+}
+
+func BenchmarkBuildOptimal(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 17} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			col := benchColumn(n, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+				ix, err := core.BuildOptimalDefault(d, col)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(ix.SizeBits())/float64(n), "bits/char")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueryOptimal(b *testing.B) {
+	for _, ell := range []int{1, 16, 128} {
+		b.Run("ell="+strconv.Itoa(ell), func(b *testing.B) {
+			n := 1 << 17
+			col := benchColumn(n, 1024)
+			d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+			ix, err := core.BuildOptimalDefault(d, col)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs := workload.RandomRanges(64, 1024, ell, 7)
+			var reads, bits, z float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				bm, st, err := ix.Query(index.Range{Lo: q.Lo, Hi: q.Hi})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reads += float64(st.Reads)
+				bits += float64(st.BitsRead)
+				z += float64(bm.Card())
+			}
+			nIters := float64(b.N)
+			b.ReportMetric(reads/nIters, "blockIO/op")
+			bound := entropy.AnswerBound(int64(n), int64(z/nIters))
+			if bound >= 1 {
+				b.ReportMetric(bits/nIters/bound, "bits-vs-bound")
+			}
+		})
+	}
+}
+
+func BenchmarkQueryPublicAPI(b *testing.B) {
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(2))
+	col := make([]uint32, n)
+	for i := range col {
+		col[i] = uint32(rng.Intn(512))
+	}
+	ix, err := Build(col, 512, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint32(rng.Intn(500))
+		if _, _, err := ix.Query(lo, lo+8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendDirect(b *testing.B)   { benchAppend(b, false) }
+func BenchmarkAppendBuffered(b *testing.B) { benchAppend(b, true) }
+
+func benchAppend(b *testing.B, buffered bool) {
+	col := benchColumn(1024, 64)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+	ax, err := core.BuildAppendIndex(d, col, core.AppendOptions{Buffered: buffered})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var ios int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := ax.Append(uint32(rng.Intn(64)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ios += int64(st.Reads + st.Writes)
+	}
+	b.ReportMetric(float64(ios)/float64(b.N), "blockIO/op")
+}
+
+func BenchmarkDynamicChange(b *testing.B) {
+	col := benchColumn(1<<14, 64)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+	dx, err := core.BuildDynamic(d, col, core.DynamicOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var ios int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := dx.Change(rng.Int63n(dx.Len()), uint32(rng.Intn(64)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ios += int64(st.Reads + st.Writes)
+	}
+	b.ReportMetric(float64(ios)/float64(b.N), "blockIO/op")
+}
+
+func BenchmarkApproxQuery(b *testing.B) {
+	col := benchColumn(1<<15, 2048)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+	ax, err := core.BuildApprox(d, col, core.ApproxOptions{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	var bits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint32(rng.Intn(2040))
+		res, st, err := ax.ApproxQuery(index.Range{Lo: lo, Hi: lo + 1}, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+		bits += st.BitsRead
+	}
+	b.ReportMetric(float64(bits)/float64(b.N), "bitsRead/op")
+}
+
+func BenchmarkA4LevelBuffering(b *testing.B) { benchExperiment(b, experiments.A4LevelBuffering) }
+
+func BenchmarkA5CodeChoice(b *testing.B) { benchExperiment(b, experiments.A5CodeChoice) }

@@ -1,0 +1,49 @@
+// Command experiments reruns every experiment in DESIGN.md's per-experiment
+// index and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E2,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced-size configurations")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	start := time.Now()
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		t0 := time.Now()
+		table, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("   (%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}

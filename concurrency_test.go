@@ -1,0 +1,58 @@
+package secidx
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelQueries exercises the static index from many goroutines: the
+// structure is immutable after Build and Touch sessions are per-query, so
+// concurrent reads must be safe (run under -race).
+func TestParallelQueries(t *testing.T) {
+	x := randColumn(20000, 128, 11)
+	ix, err := Build(x, 128, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				lo := uint32((g*13 + i*7) % 120)
+				res, _, err := ix.Query(lo, lo+7)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := bruteRange(x, lo, lo+7)
+				if res.Card() != int64(len(want)) {
+					errs <- errMismatch{}
+					return
+				}
+				ares, _, err := ix.ApproxQuery(lo, lo+7, 0.1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, r := range want[:min(len(want), 5)] {
+					if !ares.Contains(r) {
+						errs <- errMismatch{}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string { return "parallel query result mismatch" }

@@ -1,0 +1,143 @@
+// OLAP example: the paper's §1 motivation. "In a database of people we may
+// want to find all married men of age 33. This can be done by combining
+// information found in secondary indexes for the attributes specifying
+// marital status, sex, and age" — RID intersection across one-dimensional
+// secondary indexes, the workhorse of OLAP, information retrieval and
+// scientific data analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	secidx "repro"
+)
+
+const (
+	nPeople = 200000
+
+	sexFemale = 0
+	sexMale   = 1
+
+	maritalSingle   = 0
+	maritalMarried  = 1
+	maritalDivorced = 2
+	maritalWidowed  = 3
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Three attributes of the same people table.
+	age := make([]uint32, nPeople)     // 0..99 years
+	sex := make([]uint32, nPeople)     // 2 values
+	marital := make([]uint32, nPeople) // 4 values
+	for i := 0; i < nPeople; i++ {
+		age[i] = uint32(rng.Intn(100))
+		sex[i] = uint32(rng.Intn(2))
+		// Skewed marital status: mostly single or married.
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			marital[i] = maritalSingle
+		case r < 0.80:
+			marital[i] = maritalMarried
+		case r < 0.93:
+			marital[i] = maritalDivorced
+		default:
+			marital[i] = maritalWidowed
+		}
+	}
+
+	// One secondary index per attribute. A shared Seed lets approximate
+	// results from different indexes intersect without I/O.
+	opts := secidx.Options{Seed: 99}
+	ageIx, err := secidx.Build(age, 100, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sexIx, err := secidx.Build(sex, 2, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maritalIx, err := secidx.Build(marital, 4, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := ageIx.SizeBits() + sexIx.SizeBits() + maritalIx.SizeBits()
+	fmt.Printf("3 secondary indexes over %d rows: %.1f bits/row total\n",
+		nPeople, float64(total)/float64(nPeople))
+
+	// --- Exact plan: query each index, intersect the RID sets. ---
+	ageRes, ageStats, err := ageIx.Query(33, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	menRes, menStats, err := sexIx.Query(sexMale, sexMale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	marriedRes, marStats, err := maritalIx.Query(maritalMarried, maritalMarried)
+	if err != nil {
+		log.Fatal(err)
+	}
+	step, err := ageRes.Intersect(menRes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := step.Intersect(marriedRes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads := ageStats.Reads + menStats.Reads + marStats.Reads
+	bits := ageStats.BitsRead + menStats.BitsRead + marStats.BitsRead
+	fmt.Printf("\nexact RID intersection: married men of age 33 -> %d rows\n", exact.Card())
+	fmt.Printf("  index layer: %d block reads, %d bits read\n", reads, bits)
+
+	// Note the selectivities: sex=male matches half the table, married
+	// nearly half — but the *answers are dense*, so the compressed RID
+	// sets stay small, which is exactly the regime the paper optimises
+	// ("the time spent by the secondary indexes may be dominant").
+	fmt.Printf("  per-dimension matches: age=%d, men=%d, married=%d\n",
+		ageRes.Card(), menRes.Card(), marriedRes.Card())
+
+	// --- Approximate plan (Theorem 3): filter each dimension at eps, then
+	// verify the few surviving candidates against the base table. ---
+	const eps = 1.0 / 64
+	ageA, aSt, err := ageIx.ApproxQuery(33, 33, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	menA, mSt, err := sexIx.ApproxQuery(sexMale, sexMale, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	marA, rSt, err := maritalIx.ApproxQuery(maritalMarried, maritalMarried, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cand, err := secidx.IntersectApprox(ageA, menA, marA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := cand.Rows()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Verify candidates against the stored attributes (the row fetch the
+	// query performs anyway); false positives fall away here.
+	verified := 0
+	for _, i := range rows {
+		if age[i] == 33 && sex[i] == sexMale && marital[i] == maritalMarried {
+			verified++
+		}
+	}
+	fmt.Printf("\napprox plan @ eps=%v: %d candidates -> %d verified rows\n",
+		eps, len(rows), verified)
+	fmt.Printf("  index layer: %d bits read (vs %d exact)\n",
+		aSt.BitsRead+mSt.BitsRead+rSt.BitsRead, bits)
+	if int64(verified) != exact.Card() {
+		log.Fatalf("approximate plan verified %d rows, exact plan found %d", verified, exact.Card())
+	}
+	fmt.Println("  both plans agree.")
+}

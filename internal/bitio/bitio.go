@@ -1,0 +1,225 @@
+// Package bitio provides bit-granular readers and writers over byte slices.
+//
+// All compressed encodings in this repository (Elias gamma/delta codes,
+// gap-encoded bitmaps, block-aligned bitmap pages) are built on this package.
+// Bits are written most-significant-bit first within each byte, so that the
+// encoded stream is a prefix of its own byte representation and positioned
+// reads at arbitrary bit offsets are cheap.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfBits is returned when a read runs past the end of the stream.
+var ErrOutOfBits = errors.New("bitio: read past end of stream")
+
+// Writer appends bits to an in-memory buffer, most significant bit first.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// NewWriter returns a Writer with capacity for sizeHint bits.
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, (sizeHint+7)/8)}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the underlying buffer. The final byte is zero-padded.
+// The returned slice aliases the writer's storage.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset truncates the writer to zero bits, retaining capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// WriteBit appends a single bit (any nonzero v writes a 1).
+func (w *Writer) WriteBit(v uint) {
+	if w.nbit&7 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if v != 0 {
+		w.buf[w.nbit>>3] |= 0x80 >> uint(w.nbit&7)
+	}
+	w.nbit++
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
+	}
+	if n < 64 {
+		v &= (1 << uint(n)) - 1
+	}
+	// Grow the buffer to hold nbit+n bits.
+	need := (w.nbit + n + 7) / 8
+	for len(w.buf) < need {
+		w.buf = append(w.buf, 0)
+	}
+	pos := w.nbit
+	w.nbit += n
+	for n > 0 {
+		byteIdx := pos >> 3
+		bitIdx := pos & 7
+		room := 8 - bitIdx // bits available in current byte
+		take := n
+		if take > room {
+			take = room
+		}
+		// Bits to place: the top `take` of the remaining n bits of v.
+		chunk := byte(v >> uint(n-take))
+		chunk &= (1 << uint(take)) - 1
+		w.buf[byteIdx] |= chunk << uint(room-take)
+		pos += take
+		n -= take
+	}
+}
+
+// WriteUnary appends v zeros followed by a one (the unary code of v).
+func (w *Writer) WriteUnary(v int) {
+	if v < 0 {
+		panic("bitio: negative unary value")
+	}
+	for v >= 64 {
+		w.WriteBits(0, 64)
+		v -= 64
+	}
+	w.WriteBits(1, v+1)
+}
+
+// Align pads with zero bits to the next multiple of n bits (n > 0).
+func (w *Writer) Align(n int) {
+	if n <= 0 {
+		panic("bitio: Align with non-positive n")
+	}
+	if rem := w.nbit % n; rem != 0 {
+		pad := n - rem
+		for pad >= 64 {
+			w.WriteBits(0, 64)
+			pad -= 64
+		}
+		if pad > 0 {
+			w.WriteBits(0, pad)
+		}
+	}
+}
+
+// AppendWriter appends the full contents of other to w.
+func (w *Writer) AppendWriter(other *Writer) {
+	r := NewReader(other.Bytes(), other.Len())
+	remaining := other.Len()
+	for remaining >= 64 {
+		v, _ := r.ReadBits(64)
+		w.WriteBits(v, 64)
+		remaining -= 64
+	}
+	if remaining > 0 {
+		v, _ := r.ReadBits(remaining)
+		w.WriteBits(v, remaining)
+	}
+}
+
+// Reader consumes bits from a byte slice, most significant bit first.
+type Reader struct {
+	buf  []byte
+	nbit int // total readable bits
+	pos  int // current bit position
+}
+
+// NewReader returns a Reader over buf exposing exactly nbit bits.
+// If nbit is negative, all of buf (8*len(buf) bits) is exposed.
+func NewReader(buf []byte, nbit int) *Reader {
+	if nbit < 0 {
+		nbit = 8 * len(buf)
+	}
+	if nbit > 8*len(buf) {
+		panic(fmt.Sprintf("bitio: NewReader nbit %d exceeds buffer (%d bits)", nbit, 8*len(buf)))
+	}
+	return &Reader{buf: buf, nbit: nbit}
+}
+
+// Len returns the total number of bits exposed by the reader.
+func (r *Reader) Len() int { return r.nbit }
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// Seek positions the reader at absolute bit offset pos.
+func (r *Reader) Seek(pos int) error {
+	if pos < 0 || pos > r.nbit {
+		return fmt.Errorf("bitio: seek to %d outside [0,%d]", pos, r.nbit)
+	}
+	r.pos = pos
+	return nil
+}
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.nbit {
+		return 0, ErrOutOfBits
+	}
+	b := (r.buf[r.pos>>3] >> uint(7-r.pos&7)) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits reads n bits (0 <= n <= 64) into the low bits of the result.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bitio: ReadBits width %d out of range", n)
+	}
+	if r.pos+n > r.nbit {
+		return 0, ErrOutOfBits
+	}
+	var v uint64
+	pos := r.pos
+	r.pos += n
+	for n > 0 {
+		byteIdx := pos >> 3
+		bitIdx := pos & 7
+		room := 8 - bitIdx
+		take := n
+		if take > room {
+			take = room
+		}
+		chunk := r.buf[byteIdx] >> uint(room-take)
+		chunk &= (1 << uint(take)) - 1
+		v = v<<uint(take) | uint64(chunk)
+		pos += take
+		n -= take
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary code (count of zeros before the terminating one).
+func (r *Reader) ReadUnary() (int, error) {
+	n := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			return n, nil
+		}
+		n++
+		if n > r.nbit {
+			return 0, errors.New("bitio: unterminated unary code")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package bitmapidx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+func checkAgainstBrute(t *testing.T, ix index.Index, col workload.Column, q workload.RangeQuery) {
+	t.Helper()
+	got, _, err := ix.Query(index.Range{Lo: q.Lo, Hi: q.Hi})
+	if err != nil {
+		t.Fatalf("query [%d,%d]: %v", q.Lo, q.Hi, err)
+	}
+	want := workload.BruteForce(col, q)
+	gp := got.Positions()
+	if len(gp) != len(want) {
+		t.Fatalf("query [%d,%d]: %d results, want %d", q.Lo, q.Hi, len(gp), len(want))
+	}
+	for i := range want {
+		if gp[i] != want[i] {
+			t.Fatalf("query [%d,%d]: result %d = %d, want %d", q.Lo, q.Hi, i, gp[i], want[i])
+		}
+	}
+}
+
+func TestCompressedCorrectness(t *testing.T) {
+	col := workload.Uniform(5000, 64, 1)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	ix, err := Build(d, col, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range workload.RandomRanges(50, 64, 5, 2) {
+		checkAgainstBrute(t, ix, col, q)
+	}
+	checkAgainstBrute(t, ix, col, workload.RangeQuery{Lo: 0, Hi: 63})
+	checkAgainstBrute(t, ix, col, workload.RangeQuery{Lo: 7, Hi: 7})
+}
+
+func TestPlainCorrectness(t *testing.T) {
+	col := workload.Uniform(2000, 16, 3)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	ix, err := Build(d, col, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range workload.RandomRanges(20, 16, 3, 4) {
+		checkAgainstBrute(t, ix, col, q)
+	}
+}
+
+func TestPlainSpaceIsSigmaN(t *testing.T) {
+	col := workload.Uniform(1024, 8, 5)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 512})
+	ix, err := Build(d, col, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := ix.SizeBits() - int64(8*3*64)
+	if payload != 8*1024 {
+		t.Fatalf("plain payload = %d bits, want %d", payload, 8*1024)
+	}
+}
+
+func TestCompressedSmallerOnSkew(t *testing.T) {
+	// Clustered data compresses much better than plain.
+	col := workload.Runs(20000, 64, 100, 6)
+	d1 := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	d2 := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	comp, err := Build(d1, col, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Build(d2, col, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.SizeBits() >= plain.SizeBits()/10 {
+		t.Fatalf("compressed %d vs plain %d: expected >10x saving on clustered data",
+			comp.SizeBits(), plain.SizeBits())
+	}
+}
+
+func TestQueryIOsProportionalToRange(t *testing.T) {
+	// The §1.2 critique: reading a range of length ℓ costs Θ(sum of the ℓ
+	// bitmap sizes), so doubling ℓ should roughly double the reads.
+	col := workload.Uniform(1<<16, 256, 7)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	ix, err := Build(d, col, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s8, err := ix.Query(index.Range{Lo: 0, Hi: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s64, err := ix.Query(index.Range{Lo: 0, Hi: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s64.BitsRead < 4*s8.BitsRead {
+		t.Fatalf("bits read did not scale with range: ℓ=8 %d, ℓ=64 %d", s8.BitsRead, s64.BitsRead)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	col := workload.Uniform(100, 8, 8)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 512})
+	ix, err := Build(d, col, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Query(index.Range{Lo: 5, Hi: 4}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, _, err := ix.Query(index.Range{Lo: 0, Hi: 8}); err == nil {
+		t.Fatal("out-of-alphabet range accepted")
+	}
+	bad := workload.Column{X: []uint32{9}, Sigma: 4}
+	if _, err := Build(d, bad, true); err == nil {
+		t.Fatal("out-of-alphabet character accepted")
+	}
+}
+
+func TestEmptyCharacters(t *testing.T) {
+	// Characters that never occur have empty bitmaps; queries over them
+	// return empty without error.
+	col := workload.Column{X: []uint32{0, 0, 3, 3}, Sigma: 8}
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 512})
+	ix, err := Build(d, col, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Query(index.Range{Lo: 4, Hi: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card() != 0 {
+		t.Fatalf("expected empty, got %d", got.Card())
+	}
+	got, _, err = ix.Query(index.Range{Lo: 1, Hi: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card() != 2 {
+		t.Fatalf("card = %d, want 2", got.Card())
+	}
+}
+
+func TestRandomizedSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		n := 100 + rng.Intn(3000)
+		sigma := 2 + rng.Intn(100)
+		col := workload.Uniform(n, sigma, int64(trial))
+		d := iomodel.NewDisk(iomodel.Config{BlockBits: 512})
+		ix, err := Build(d, col, trial%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range workload.RandomRanges(10, sigma, 1+rng.Intn(sigma), int64(trial)) {
+			checkAgainstBrute(t, ix, col, q)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package btreeidx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+func checkAgainstBrute(t *testing.T, ix *Index, col workload.Column, q workload.RangeQuery) {
+	t.Helper()
+	got, _, err := ix.Query(index.Range{Lo: q.Lo, Hi: q.Hi})
+	if err != nil {
+		t.Fatalf("query [%d,%d]: %v", q.Lo, q.Hi, err)
+	}
+	want := workload.BruteForce(col, q)
+	gp := got.Positions()
+	if len(gp) != len(want) {
+		t.Fatalf("query [%d,%d]: %d results, want %d", q.Lo, q.Hi, len(gp), len(want))
+	}
+	for i := range want {
+		if gp[i] != want[i] {
+			t.Fatalf("query [%d,%d]: result %d = %d, want %d", q.Lo, q.Hi, i, gp[i], want[i])
+		}
+	}
+}
+
+func TestCorrectness(t *testing.T) {
+	col := workload.Uniform(5000, 64, 1)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	ix, err := Build(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range workload.RandomRanges(50, 64, 5, 2) {
+		checkAgainstBrute(t, ix, col, q)
+	}
+	checkAgainstBrute(t, ix, col, workload.RangeQuery{Lo: 0, Hi: 63})
+	checkAgainstBrute(t, ix, col, workload.RangeQuery{Lo: 63, Hi: 63})
+	checkAgainstBrute(t, ix, col, workload.RangeQuery{Lo: 0, Hi: 0})
+}
+
+func TestEmptyRangeResult(t *testing.T) {
+	col := workload.Column{X: []uint32{0, 0, 0}, Sigma: 16}
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	ix, err := Build(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Query(index.Range{Lo: 5, Hi: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card() != 0 {
+		t.Fatalf("expected empty, got %d", got.Card())
+	}
+}
+
+func TestHeightIsLogarithmic(t *testing.T) {
+	col := workload.Uniform(1<<16, 256, 3)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	ix, err := Build(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fanout is ~ (2048-32)/(8+32) = 50; leafCap ~ (2048-64)/24 = 82.
+	// 2^16 records need <= 800 leaves, so height should be 3.
+	if ix.Height() > 3 {
+		t.Fatalf("height = %d", ix.Height())
+	}
+}
+
+func TestQueryIOsDescentPlusScan(t *testing.T) {
+	col := workload.Uniform(1<<16, 1024, 4)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	ix, err := Build(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point-ish query: I/Os should be about height + a couple of leaves.
+	_, s, err := ix.Query(index.Range{Lo: 512, Hi: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Reads > ix.Height()+3 {
+		t.Fatalf("point query reads = %d, height = %d", s.Reads, ix.Height())
+	}
+	// Full-range query: reads ~ all leaf blocks; z=2^16 records of 26 bits
+	// in 2048-bit blocks (~78/leaf) is ~840 leaves.
+	_, sFull, err := ix.Query(index.Range{Lo: 0, Hi: 1023})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sFull.Reads < 500 {
+		t.Fatalf("full scan reads = %d, suspiciously low", sFull.Reads)
+	}
+}
+
+func TestSmallBlocksRejected(t *testing.T) {
+	col := workload.Uniform(100, 16, 5)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 80})
+	if _, err := Build(d, col); err == nil {
+		t.Fatal("tiny blocks accepted")
+	}
+}
+
+func TestEmptyColumnRejected(t *testing.T) {
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	if _, err := Build(d, workload.Column{Sigma: 4}); err == nil {
+		t.Fatal("empty column accepted")
+	}
+}
+
+func TestRandomizedSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(4000)
+		sigma := 2 + rng.Intn(200)
+		col := workload.Zipf(n, sigma, rng.Float64()*1.5, int64(trial))
+		d := iomodel.NewDisk(iomodel.Config{BlockBits: 512 + 512*rng.Intn(3)})
+		ix, err := Build(d, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range workload.RandomRanges(10, sigma, 1+rng.Intn(sigma), int64(trial*3)) {
+			checkAgainstBrute(t, ix, col, q)
+		}
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	col := workload.Uniform(10, 4, 6)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 4096})
+	ix, err := Build(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Height() != 1 {
+		t.Fatalf("height = %d, want 1", ix.Height())
+	}
+	checkAgainstBrute(t, ix, col, workload.RangeQuery{Lo: 0, Hi: 3})
+}

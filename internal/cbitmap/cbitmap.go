@@ -1,0 +1,381 @@
+// Package cbitmap implements compressed bitmaps: sets of positions in a
+// universe [0,n) stored as gamma-coded gaps, the paper's reference
+// run-length encoding (§1.2). A bitmap with m ones occupies
+// O(m lg(n/m) + m) bits, within a constant factor of the information bound
+// lg C(n,m), which is what makes the paper's space accounting go through.
+//
+// The package also provides Plain, an explicit n-bit bitmap, for the
+// constant-alphabet regime where uncompressed bitmap indexes are optimal.
+package cbitmap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/gamma"
+)
+
+// Bitmap is an immutable compressed set of positions in [0, Universe()).
+// The zero value is an empty set over an empty universe.
+type Bitmap struct {
+	n    int64 // universe size
+	card int64 // number of positions
+	buf  []byte
+	bits int
+}
+
+// FromPositions builds a bitmap over [0,n) from a strictly increasing
+// position slice.
+func FromPositions(n int64, pos []int64) (*Bitmap, error) {
+	w := bitio.NewWriter(4 * len(pos))
+	prev := int64(-1)
+	for i, p := range pos {
+		if p <= prev {
+			return nil, fmt.Errorf("cbitmap: positions not strictly increasing at index %d (%d after %d)", i, p, prev)
+		}
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("cbitmap: position %d outside universe [0,%d)", p, n)
+		}
+		gamma.Write(w, uint64(p-prev)) // gap >= 1
+		prev = p
+	}
+	return &Bitmap{n: n, card: int64(len(pos)), buf: w.Bytes(), bits: w.Len()}, nil
+}
+
+// MustFromPositions is FromPositions for known-good inputs (tests, builders).
+func MustFromPositions(n int64, pos []int64) *Bitmap {
+	b, err := FromPositions(n, pos)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FromUnsorted builds a bitmap from positions in any order; duplicates are
+// removed.
+func FromUnsorted(n int64, pos []int64) (*Bitmap, error) {
+	sorted := append([]int64(nil), pos...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	dedup := sorted[:0]
+	for i, p := range sorted {
+		if i == 0 || p != sorted[i-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	return FromPositions(n, dedup)
+}
+
+// Empty returns the empty bitmap over [0,n).
+func Empty(n int64) *Bitmap { return &Bitmap{n: n} }
+
+// Universe returns the universe size n.
+func (b *Bitmap) Universe() int64 { return b.n }
+
+// Card returns the number of positions in the set (the paper's cardinality).
+func (b *Bitmap) Card() int64 { return b.card }
+
+// SizeBits returns the size of the compressed representation in bits.
+func (b *Bitmap) SizeBits() int { return b.bits }
+
+// EncodeTo appends the raw encoded stream (gaps only; the caller must record
+// cardinality and universe out of band, as the paper's layouts do via node
+// weights).
+func (b *Bitmap) EncodeTo(w *bitio.Writer) {
+	r := bitio.NewReader(b.buf, b.bits)
+	for r.Remaining() >= 64 {
+		v, _ := r.ReadBits(64)
+		w.WriteBits(v, 64)
+	}
+	if rem := r.Remaining(); rem > 0 {
+		v, _ := r.ReadBits(rem)
+		w.WriteBits(v, rem)
+	}
+}
+
+// Decode reads card gamma-coded gaps from r, reconstructing a bitmap over
+// [0,n). This is how bitmaps are read back from disk: the stored stream
+// carries no header, cardinality comes from the node weight.
+func Decode(r *bitio.Reader, card, n int64) (*Bitmap, error) {
+	w := bitio.NewWriter(0)
+	prev := int64(-1)
+	start := r.Pos()
+	for i := int64(0); i < card; i++ {
+		g, err := gamma.Read(r)
+		if err != nil {
+			return nil, fmt.Errorf("cbitmap: decode gap %d/%d: %w", i, card, err)
+		}
+		p := prev + int64(g)
+		if p >= n {
+			return nil, fmt.Errorf("cbitmap: decoded position %d outside universe [0,%d)", p, n)
+		}
+		prev = p
+	}
+	bits := r.Pos() - start
+	if err := r.Seek(start); err != nil {
+		return nil, err
+	}
+	for rem := bits; rem > 0; {
+		n := rem
+		if n > 64 {
+			n = 64
+		}
+		v, err := r.ReadBits(n)
+		if err != nil {
+			return nil, err
+		}
+		w.WriteBits(v, n)
+		rem -= n
+	}
+	return &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+}
+
+// Iter iterates positions in increasing order.
+type Iter struct {
+	r    *bitio.Reader
+	left int64
+	prev int64
+}
+
+// Iter returns an iterator over the set.
+func (b *Bitmap) Iter() *Iter {
+	return &Iter{r: bitio.NewReader(b.buf, b.bits), left: b.card, prev: -1}
+}
+
+// Next returns the next position, or ok=false when exhausted.
+func (it *Iter) Next() (pos int64, ok bool) {
+	if it.left == 0 {
+		return 0, false
+	}
+	g, err := gamma.Read(it.r)
+	if err != nil {
+		// Corrupt stream: surface as exhaustion; builders validate on entry.
+		it.left = 0
+		return 0, false
+	}
+	it.left--
+	it.prev += int64(g)
+	return it.prev, true
+}
+
+// Positions materialises the set as a sorted slice.
+func (b *Bitmap) Positions() []int64 {
+	out := make([]int64, 0, b.card)
+	it := b.Iter()
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Contains reports whether pos is in the set (linear scan; the compressed
+// representation is not meant for random membership).
+func (b *Bitmap) Contains(pos int64) bool {
+	it := b.Iter()
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		if p == pos {
+			return true
+		}
+		if p > pos {
+			return false
+		}
+	}
+	return false
+}
+
+// ErrUniverseMismatch reports set algebra over different universes.
+var ErrUniverseMismatch = errors.New("cbitmap: universe size mismatch")
+
+// Union returns the union of the given bitmaps (k-way merge in one pass, as
+// the paper's query algorithm computes the union of the cover's bitmaps).
+func Union(ms ...*Bitmap) (*Bitmap, error) {
+	var n int64
+	for _, m := range ms {
+		if m.n > n {
+			n = m.n
+		}
+	}
+	for _, m := range ms {
+		if m.n != n && m.card > 0 {
+			return nil, ErrUniverseMismatch
+		}
+	}
+	type head struct {
+		it  *Iter
+		cur int64
+	}
+	heads := make([]head, 0, len(ms))
+	for _, m := range ms {
+		it := m.Iter()
+		if p, ok := it.Next(); ok {
+			heads = append(heads, head{it, p})
+		}
+	}
+	w := bitio.NewWriter(0)
+	prev := int64(-1)
+	var card int64
+	if len(heads) <= 8 {
+		// Small covers (the common case: O(1) bitmaps per tree level):
+		// a linear minimum scan beats heap bookkeeping.
+		for len(heads) > 0 {
+			mi := 0
+			for i := 1; i < len(heads); i++ {
+				if heads[i].cur < heads[mi].cur {
+					mi = i
+				}
+			}
+			p := heads[mi].cur
+			if p != prev { // dedupe
+				gamma.Write(w, uint64(p-prev))
+				prev = p
+				card++
+			}
+			if np, ok := heads[mi].it.Next(); ok {
+				heads[mi].cur = np
+			} else {
+				heads[mi] = heads[len(heads)-1]
+				heads = heads[:len(heads)-1]
+			}
+		}
+		return &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+	}
+	// Large fan-in: binary min-heap on the head positions.
+	less := func(i, j int) bool { return heads[i].cur < heads[j].cur }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heads) && less(l, m) {
+				m = l
+			}
+			if r < len(heads) && less(r, m) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heads[i], heads[m] = heads[m], heads[i]
+			i = m
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(heads) > 0 {
+		p := heads[0].cur
+		if p != prev {
+			gamma.Write(w, uint64(p-prev))
+			prev = p
+			card++
+		}
+		if np, ok := heads[0].it.Next(); ok {
+			heads[0].cur = np
+		} else {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		siftDown(0)
+	}
+	return &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+}
+
+// Intersect returns the intersection of a and b.
+func Intersect(a, b *Bitmap) (*Bitmap, error) {
+	if a.n != b.n && a.card > 0 && b.card > 0 {
+		return nil, ErrUniverseMismatch
+	}
+	n := a.n
+	if b.n > n {
+		n = b.n
+	}
+	w := bitio.NewWriter(0)
+	prev := int64(-1)
+	var card int64
+	ia, ib := a.Iter(), b.Iter()
+	pa, oka := ia.Next()
+	pb, okb := ib.Next()
+	for oka && okb {
+		switch {
+		case pa < pb:
+			pa, oka = ia.Next()
+		case pb < pa:
+			pb, okb = ib.Next()
+		default:
+			gamma.Write(w, uint64(pa-prev))
+			prev = pa
+			card++
+			pa, oka = ia.Next()
+			pb, okb = ib.Next()
+		}
+	}
+	return &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+}
+
+// Difference returns a \ b.
+func Difference(a, b *Bitmap) (*Bitmap, error) {
+	if a.n != b.n && a.card > 0 && b.card > 0 {
+		return nil, ErrUniverseMismatch
+	}
+	w := bitio.NewWriter(0)
+	prev := int64(-1)
+	var card int64
+	ia, ib := a.Iter(), b.Iter()
+	pa, oka := ia.Next()
+	pb, okb := ib.Next()
+	for oka {
+		for okb && pb < pa {
+			pb, okb = ib.Next()
+		}
+		if !okb || pb != pa {
+			gamma.Write(w, uint64(pa-prev))
+			prev = pa
+			card++
+		}
+		pa, oka = ia.Next()
+	}
+	return &Bitmap{n: a.n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+}
+
+// Complement returns [0,n) \ b. This realises the paper's dense-answer trick:
+// when z > n/2 the query returns the complement of two sparse queries.
+func (b *Bitmap) Complement() *Bitmap {
+	w := bitio.NewWriter(0)
+	prev := int64(-1)
+	var card int64
+	next := int64(0)
+	it := b.Iter()
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		for ; next < p; next++ {
+			gamma.Write(w, uint64(next-prev))
+			prev = next
+			card++
+		}
+		next = p + 1
+	}
+	for ; next < b.n; next++ {
+		gamma.Write(w, uint64(next-prev))
+		prev = next
+		card++
+	}
+	return &Bitmap{n: b.n, card: card, buf: w.Bytes(), bits: w.Len()}
+}
+
+// Equal reports whether a and b contain the same positions over the same
+// universe.
+func Equal(a, b *Bitmap) bool {
+	if a.n != b.n || a.card != b.card {
+		return false
+	}
+	ia, ib := a.Iter(), b.Iter()
+	for {
+		pa, oka := ia.Next()
+		pb, okb := ib.Next()
+		if oka != okb || pa != pb {
+			return false
+		}
+		if !oka {
+			return true
+		}
+	}
+}

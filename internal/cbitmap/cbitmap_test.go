@@ -1,0 +1,399 @@
+package cbitmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+func randSet(rng *rand.Rand, n int64, m int) []int64 {
+	seen := make(map[int64]struct{}, m)
+	for len(seen) < m {
+		seen[rng.Int63n(n)] = struct{}{}
+	}
+	out := make([]int64, 0, m)
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{0, 1, 2, 10, 1000} {
+		pos := randSet(rng, 1<<20, m)
+		b, err := FromPositions(1<<20, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Card() != int64(m) {
+			t.Fatalf("card = %d, want %d", b.Card(), m)
+		}
+		got := b.Positions()
+		if len(got) != len(pos) {
+			t.Fatalf("len = %d, want %d", len(got), len(pos))
+		}
+		for i := range pos {
+			if got[i] != pos[i] {
+				t.Fatalf("pos %d: %d != %d", i, got[i], pos[i])
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FromPositions(10, []int64{3, 3}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := FromPositions(10, []int64{5, 4}); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	if _, err := FromPositions(10, []int64{10}); err == nil {
+		t.Fatal("out-of-universe accepted")
+	}
+	if _, err := FromPositions(10, []int64{-1}); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestFromUnsorted(t *testing.T) {
+	b, err := FromUnsorted(100, []int64{5, 1, 5, 99, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 5, 99}
+	got := b.Positions()
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pos := randSet(rng, 1<<16, 500)
+	b := MustFromPositions(1<<16, pos)
+	w := bitio.NewWriter(0)
+	w.WriteBits(0xAA, 8) // preceding junk, as in a concatenated level
+	b.EncodeTo(w)
+	w.WriteBits(0x55, 8) // trailing junk
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	if err := r.Seek(8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(r, b.Card(), b.Universe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(b, got) {
+		t.Fatal("decode mismatch")
+	}
+	if r.Pos() != 8+b.SizeBits() {
+		t.Fatalf("reader at %d, want %d", r.Pos(), 8+b.SizeBits())
+	}
+}
+
+func TestSizeNearInformationBound(t *testing.T) {
+	// m lg(n/m) + Theta(m): check the constant is small for a random set.
+	rng := rand.New(rand.NewSource(3))
+	n := int64(1 << 20)
+	m := 1000
+	b := MustFromPositions(n, randSet(rng, n, m))
+	// Information bound ~ m*lg(n/m) = 1000 * ~10 = 10000 bits.
+	if b.SizeBits() > 4*10000 {
+		t.Fatalf("size %d bits far above information bound ~10000", b.SizeBits())
+	}
+}
+
+func setOf(ps []int64) map[int64]bool {
+	s := make(map[int64]bool)
+	for _, p := range ps {
+		s[p] = true
+	}
+	return s
+}
+
+func TestAlgebraAgainstSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := int64(4096)
+	for trial := 0; trial < 50; trial++ {
+		a := randSet(rng, n, rng.Intn(300))
+		c := randSet(rng, n, rng.Intn(300))
+		ba := MustFromPositions(n, a)
+		bc := MustFromPositions(n, c)
+		sa, sc := setOf(a), setOf(c)
+
+		u, err := Union(ba, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range u.Positions() {
+			if !sa[p] && !sc[p] {
+				t.Fatalf("union has extra %d", p)
+			}
+		}
+		want := make(map[int64]bool)
+		for p := range sa {
+			want[p] = true
+		}
+		for p := range sc {
+			want[p] = true
+		}
+		if int(u.Card()) != len(want) {
+			t.Fatalf("union card %d want %d", u.Card(), len(want))
+		}
+
+		in, err := Intersect(ba, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range in.Positions() {
+			if !sa[p] || !sc[p] {
+				t.Fatalf("intersect extra %d", p)
+			}
+		}
+		var wantIn int
+		for p := range sa {
+			if sc[p] {
+				wantIn++
+			}
+		}
+		if int(in.Card()) != wantIn {
+			t.Fatalf("intersect card %d want %d", in.Card(), wantIn)
+		}
+
+		df, err := Difference(ba, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantDf int
+		for p := range sa {
+			if !sc[p] {
+				wantDf++
+			}
+		}
+		if int(df.Card()) != wantDf {
+			t.Fatalf("difference card %d want %d", df.Card(), wantDf)
+		}
+		for _, p := range df.Positions() {
+			if !sa[p] || sc[p] {
+				t.Fatalf("difference extra %d", p)
+			}
+		}
+	}
+}
+
+func TestUnionMultiway(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := int64(10000)
+	var ms []*Bitmap
+	want := make(map[int64]bool)
+	for i := 0; i < 17; i++ {
+		ps := randSet(rng, n, rng.Intn(100))
+		for _, p := range ps {
+			want[p] = true
+		}
+		ms = append(ms, MustFromPositions(n, ps))
+	}
+	u, err := Union(ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(u.Card()) != len(want) {
+		t.Fatalf("card %d want %d", u.Card(), len(want))
+	}
+	prev := int64(-1)
+	for _, p := range u.Positions() {
+		if !want[p] || p <= prev {
+			t.Fatalf("bad union output at %d", p)
+		}
+		prev = p
+	}
+}
+
+func TestUnionEmptyInputs(t *testing.T) {
+	u, err := Union()
+	if err != nil || u.Card() != 0 {
+		t.Fatalf("empty union: %v %d", err, u.Card())
+	}
+	u, err = Union(Empty(10), Empty(10))
+	if err != nil || u.Card() != 0 {
+		t.Fatalf("union of empties: %v %d", err, u.Card())
+	}
+}
+
+func TestUniverseMismatch(t *testing.T) {
+	a := MustFromPositions(10, []int64{1})
+	b := MustFromPositions(20, []int64{1})
+	if _, err := Union(a, b); err != ErrUniverseMismatch {
+		t.Fatalf("union mismatch: %v", err)
+	}
+	if _, err := Intersect(a, b); err != ErrUniverseMismatch {
+		t.Fatalf("intersect mismatch: %v", err)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	b := MustFromPositions(8, []int64{0, 3, 7})
+	c := b.Complement()
+	want := []int64{1, 2, 4, 5, 6}
+	got := c.Positions()
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Double complement is identity.
+	if !Equal(b, c.Complement()) {
+		t.Fatal("double complement not identity")
+	}
+	// Complement of empty is full.
+	if Empty(5).Complement().Card() != 5 {
+		t.Fatal("complement of empty")
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := MustFromPositions(100, []int64{2, 50, 99})
+	for _, p := range []int64{2, 50, 99} {
+		if !b.Contains(p) {
+			t.Fatalf("missing %d", p)
+		}
+	}
+	for _, p := range []int64{0, 3, 98} {
+		if b.Contains(p) {
+			t.Fatalf("extra %d", p)
+		}
+	}
+}
+
+func TestQuickAlgebra(t *testing.T) {
+	f := func(araw, braw []uint16) bool {
+		n := int64(1 << 16)
+		toPos := func(raw []uint16) []int64 {
+			var out []int64
+			for _, v := range raw {
+				out = append(out, int64(v))
+			}
+			return out
+		}
+		a, err1 := FromUnsorted(n, toPos(araw))
+		b, err2 := FromUnsorted(n, toPos(braw))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		u, err := Union(a, b)
+		if err != nil {
+			return false
+		}
+		in, err := Intersect(a, b)
+		if err != nil {
+			return false
+		}
+		// |A ∪ B| + |A ∩ B| = |A| + |B|
+		return u.Card()+in.Card() == a.Card()+b.Card()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlain(t *testing.T) {
+	p := NewPlain(130)
+	for _, i := range []int64{0, 63, 64, 129} {
+		p.Set(i)
+	}
+	if p.Card() != 4 {
+		t.Fatalf("card = %d", p.Card())
+	}
+	if !p.Get(64) || p.Get(65) {
+		t.Fatal("get wrong")
+	}
+	p.Clear(64)
+	if p.Get(64) || p.Card() != 3 {
+		t.Fatal("clear wrong")
+	}
+	b := p.Compress()
+	want := []int64{0, 63, 129}
+	got := b.Positions()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("compress: got %v want %v", got, want)
+		}
+	}
+	q := NewPlain(130)
+	q.OrBitmap(b)
+	q.Or(p)
+	if q.Card() != 3 {
+		t.Fatalf("or: card = %d", q.Card())
+	}
+}
+
+func TestUnionLargeFanIn(t *testing.T) {
+	// Exercise the heap path (> 8 inputs) against the set model.
+	rng := rand.New(rand.NewSource(42))
+	n := int64(20000)
+	var ms []*Bitmap
+	want := make(map[int64]bool)
+	for i := 0; i < 50; i++ {
+		ps := randSet(rng, n, rng.Intn(200))
+		for _, p := range ps {
+			want[p] = true
+		}
+		ms = append(ms, MustFromPositions(n, ps))
+	}
+	u, err := Union(ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(u.Card()) != len(want) {
+		t.Fatalf("card %d want %d", u.Card(), len(want))
+	}
+	prev := int64(-1)
+	for _, p := range u.Positions() {
+		if !want[p] || p <= prev {
+			t.Fatalf("bad output at %d", p)
+		}
+		prev = p
+	}
+}
+
+func TestUnionHeapMatchesLinear(t *testing.T) {
+	// The heap path (many inputs) and linear path (few) must agree: union
+	// of 20 singletons equals union of their pairwise unions.
+	n := int64(1000)
+	var singles []*Bitmap
+	for i := int64(0); i < 20; i++ {
+		singles = append(singles, MustFromPositions(n, []int64{i * 13 % n}))
+	}
+	direct, err := Union(singles...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []*Bitmap
+	for i := 0; i < 20; i += 4 {
+		p, err := Union(singles[i : i+4]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, p)
+	}
+	indirect, err := Union(pairs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(direct, indirect) {
+		t.Fatal("heap and linear unions disagree")
+	}
+}

@@ -1,0 +1,79 @@
+package cbitmap
+
+import (
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// FuzzDecodeArbitrary: decoding arbitrary bytes with arbitrary claimed
+// cardinalities must never panic and never fabricate positions outside the
+// universe.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{0xff, 0x01}, uint16(3), uint32(100))
+	f.Add([]byte{}, uint16(1), uint32(10))
+	f.Add([]byte{0x80, 0x80, 0x80}, uint16(2), uint32(1000))
+	f.Fuzz(func(t *testing.T, data []byte, card16 uint16, n32 uint32) {
+		n := int64(n32%1_000_000) + 1
+		card := int64(card16 % 4096)
+		r := bitio.NewReader(data, -1)
+		bm, err := Decode(r, card, n)
+		if err != nil {
+			return // rejected, fine
+		}
+		// Accepted: every decoded position must be in-universe and sorted.
+		prev := int64(-1)
+		it := bm.Iter()
+		for p, ok := it.Next(); ok; p, ok = it.Next() {
+			if p <= prev || p >= n {
+				t.Fatalf("decoded invalid position %d (prev %d, n %d)", p, prev, n)
+			}
+			prev = p
+		}
+	})
+}
+
+// FuzzAlgebraLaws: |A∪B| + |A∩B| = |A| + |B| and De Morgan-ish complement
+// laws hold for arbitrary inputs.
+func FuzzAlgebraLaws(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{0})
+	f.Fuzz(func(t *testing.T, araw, braw []byte) {
+		n := int64(256)
+		toPos := func(raw []byte) []int64 {
+			out := make([]int64, 0, len(raw))
+			for _, v := range raw {
+				out = append(out, int64(v))
+			}
+			return out
+		}
+		a, err1 := FromUnsorted(n, toPos(araw))
+		b, err2 := FromUnsorted(n, toPos(braw))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("build: %v %v", err1, err2)
+		}
+		u, err := Union(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := Intersect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Card()+in.Card() != a.Card()+b.Card() {
+			t.Fatalf("inclusion-exclusion violated: %d+%d != %d+%d", u.Card(), in.Card(), a.Card(), b.Card())
+		}
+		// A \ B and A ∩ B partition A.
+		df, err := Difference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if df.Card()+in.Card() != a.Card() {
+			t.Fatalf("difference law violated")
+		}
+		// Complement involution.
+		if !Equal(a, a.Complement().Complement()) {
+			t.Fatal("complement not an involution")
+		}
+	})
+}

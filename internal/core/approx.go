@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/cbitmap"
+	"repro/internal/hashutil"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// ApproxOptions configures the Theorem 3 structure.
+type ApproxOptions struct {
+	OptimalOptions
+	// Seed determines the shared hash functions h_1 … h_k. Indexes built
+	// with the same Seed over the same n share functions, which is what
+	// makes intersection of approximate results across dimensions work
+	// ("simply compute the preimage of the intersection", §3).
+	Seed int64
+}
+
+// Approx is the paper's Theorem 3 structure: the Theorem 2 index extended,
+// at every materialised member, with the hashed sets h_j(S) for
+// j = 1 … k = ⌊lg lg n⌋, where h_j maps [n] to [2^(2^j)] via the split-XOR
+// universal family. An approximate query reads O(z lg(1/ε)/B) bits instead
+// of O(z lg(n/z)/B).
+type Approx struct {
+	*Optimal
+	seed  int64
+	k     int
+	hs    []hashutil.SplitXOR // hs[j-1] has output width 2^j bits
+	hmaps []hashLevel         // parallel to Optimal.levels
+}
+
+// hashLevel holds, for one materialised level, the per-j concatenated
+// hashed-set extents, parallel to the level's member slice.
+type hashLevel struct {
+	perJ []hashArray // index j-1
+}
+
+type hashArray struct {
+	exts  []iomodel.Extent
+	cards []int64
+}
+
+// BuildApprox constructs the Theorem 3 index for col on disk d.
+func BuildApprox(d *iomodel.Disk, col workload.Column, opts ApproxOptions) (*Approx, error) {
+	ox, err := BuildOptimal(d, col, opts.OptimalOptions)
+	if err != nil {
+		return nil, err
+	}
+	ax := &Approx{Optimal: ox, seed: opts.Seed}
+	n := ox.tree.n
+	ax.k = maxJ(n)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for j := 1; j <= ax.k; j++ {
+		ax.hs = append(ax.hs, hashutil.NewSplitXOR(rng, 1<<uint(j)))
+	}
+	// For each materialised member, store h_j(S) for every j, grouped by j
+	// ("we group the sets according to what hash function was used") so a
+	// cover chunk at one j is contiguous.
+	for _, lv := range ox.levels {
+		hl := hashLevel{perJ: make([]hashArray, ax.k)}
+		for j := 1; j <= ax.k; j++ {
+			univ := int64(1) << uint(1<<uint(j))
+			arr := &hl.perJ[j-1]
+			for _, m := range lv.members {
+				pos := ox.tree.Positions(m.start, m.end)
+				hashed := make([]int64, 0, len(pos))
+				for _, p := range pos {
+					hashed = append(hashed, int64(ax.hs[j-1].Hash(uint64(p))))
+				}
+				hbm, err := cbitmap.FromUnsorted(univ, hashed)
+				if err != nil {
+					return nil, err
+				}
+				w := bitio.NewWriter(hbm.SizeBits())
+				hbm.EncodeTo(w)
+				arr.exts = append(arr.exts, d.AllocStream(w))
+				arr.cards = append(arr.cards, hbm.Card())
+			}
+		}
+		ax.hmaps = append(ax.hmaps, hl)
+	}
+	d.ResetStats()
+	return ax, nil
+}
+
+// maxJ returns k ≈ lg lg n, the deepest hashed level, chosen as the least k
+// with 2^(2^k) >= n so the coarsest hashed universe reaches the position
+// universe (beyond that a hashed set cannot beat the exact one; the paper's
+// ⌊lg lg n⌋ is the same value up to rounding, and the space analysis is
+// unchanged since level sizes decay geometrically upward).
+func maxJ(n int64) int {
+	lgn := mathbitsLen(n - 1)
+	k := 1
+	for 1<<uint(k) < lgn && 1<<uint(k+1) <= 56 {
+		k++
+	}
+	return k
+}
+
+// mathbitsLen is bits.Len64 for int64 inputs clamped at >= 1.
+func mathbitsLen(v int64) int {
+	if v < 1 {
+		return 1
+	}
+	l := 0
+	for x := uint64(v); x > 0; x >>= 1 {
+		l++
+	}
+	return l
+}
+
+// Name implements index.Index.
+func (ax *Approx) Name() string { return "pr-approx" }
+
+// K returns the number of hashed levels stored.
+func (ax *Approx) K() int { return ax.k }
+
+// Seed returns the hash seed (indexes must share it to intersect results).
+func (ax *Approx) Seed() int64 { return ax.seed }
+
+// SizeBits includes the hashed sets on top of the exact structure.
+func (ax *Approx) SizeBits() int64 {
+	bits := ax.Optimal.SizeBits()
+	for _, hl := range ax.hmaps {
+		for _, arr := range hl.perJ {
+			bits += int64(len(arr.exts)) * 3 * 64
+			for _, e := range arr.exts {
+				bits += e.Bits
+			}
+		}
+	}
+	return bits
+}
+
+// Result is the answer to an approximate range query: either an exact
+// compressed position set (when no hashed level could help), or a hashed
+// set together with the function that produced it, from which membership,
+// candidate enumeration and intersections are computed without further
+// I/Os.
+type Result struct {
+	N     int64
+	Exact *cbitmap.Bitmap // non-nil for exact answers
+	J     int
+	H     hashutil.SplitXOR
+	Set   *cbitmap.Bitmap // hashed set over [0, 2^(2^J))
+}
+
+// IsExact reports whether the result carries no false positives.
+func (r *Result) IsExact() bool { return r.Exact != nil }
+
+// Contains reports whether position i is in the (super)set.
+func (r *Result) Contains(i int64) bool {
+	if r.Exact != nil {
+		return r.Exact.Contains(i)
+	}
+	return r.Set.Contains(int64(r.H.Hash(uint64(i))))
+}
+
+// contains with a prebuilt membership table, for hot loops.
+func (r *Result) memberFn() func(int64) bool {
+	if r.Exact != nil {
+		set := make(map[int64]struct{}, r.Exact.Card())
+		it := r.Exact.Iter()
+		for p, ok := it.Next(); ok; p, ok = it.Next() {
+			set[p] = struct{}{}
+		}
+		return func(i int64) bool { _, ok := set[i]; return ok }
+	}
+	set := make(map[int64]struct{}, r.Set.Card())
+	it := r.Set.Iter()
+	for s, ok := it.Next(); ok; s, ok = it.Next() {
+		set[s] = struct{}{}
+	}
+	return func(i int64) bool {
+		_, ok := set[int64(r.H.Hash(uint64(i)))]
+		return ok
+	}
+}
+
+// CandidateCount returns |Iˆ| — the number of positions the result admits
+// (exactly z for exact results; about z + εn for hashed ones).
+func (r *Result) CandidateCount() int64 {
+	if r.Exact != nil {
+		return r.Exact.Card()
+	}
+	var total int64
+	it := r.Set.Iter()
+	for s, ok := it.Next(); ok; s, ok = it.Next() {
+		total += r.H.PreimageCount(uint64(s), r.N)
+	}
+	return total
+}
+
+// Candidates materialises Iˆ as a sorted compressed bitmap ("we do not want
+// to output the preimage (it is quite large)" — this is for tests and for
+// final result delivery after intersections have shrunk the set).
+func (r *Result) Candidates() (*cbitmap.Bitmap, error) {
+	if r.Exact != nil {
+		return r.Exact, nil
+	}
+	var pos []int64
+	it := r.Set.Iter()
+	for s, ok := it.Next(); ok; s, ok = it.Next() {
+		pre := r.H.Preimage(uint64(s), r.N)
+		for p, okp := pre.Next(); okp; p, okp = pre.Next() {
+			pos = append(pos, int64(p))
+		}
+	}
+	return cbitmap.FromUnsorted(r.N, pos)
+}
+
+// Intersect computes the intersection of approximate results without any
+// I/O. Results hashed at the same level intersect their hashed sets (the
+// preimage of the intersection, §3); mixed forms filter the smaller side's
+// candidates through the other results' membership tests.
+func Intersect(rs ...*Result) (*Result, error) {
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("core: Intersect of nothing")
+	}
+	if len(rs) == 1 {
+		return rs[0], nil
+	}
+	n := rs[0].N
+	for _, r := range rs {
+		if r.N != n {
+			return nil, fmt.Errorf("core: Intersect over different universes")
+		}
+	}
+	// Fast path: all hashed with identical function.
+	allSame := true
+	for _, r := range rs {
+		if r.IsExact() || r.J != rs[0].J || r.H != rs[0].H {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		set := rs[0].Set
+		for _, r := range rs[1:] {
+			var err error
+			set, err = cbitmap.Intersect(set, r.Set)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Result{N: n, J: rs[0].J, H: rs[0].H, Set: set}, nil
+	}
+	// General path: enumerate the cheapest result's candidates and test the
+	// rest; the output is exact with respect to the input supersets.
+	sorted := append([]*Result(nil), rs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].CandidateCount() < sorted[j].CandidateCount()
+	})
+	members := make([]func(int64) bool, len(sorted)-1)
+	for i, r := range sorted[1:] {
+		members[i] = r.memberFn()
+	}
+	base, err := sorted[0].Candidates()
+	if err != nil {
+		return nil, err
+	}
+	var pos []int64
+	it := base.Iter()
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		keep := true
+		for _, m := range members {
+			if !m(p) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			pos = append(pos, p)
+		}
+	}
+	bm, err := cbitmap.FromPositions(n, pos)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{N: n, Exact: bm}, nil
+}
+
+// readHashChunk reads the j-th hashed frontier of cover subtree v.
+func (ax *Approx) readHashChunk(tc *iomodel.Touch, v *Node, j int, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
+	li := ax.levelFor(v.Depth)
+	lv := &ax.levels[li]
+	i, jj, err := lv.chunk(v.Start, v.End)
+	if err != nil {
+		return ms, err
+	}
+	arr := &ax.hmaps[li].perJ[j-1]
+	span := iomodel.Extent{
+		Off:  arr.exts[i].Off,
+		Bits: arr.exts[jj-1].End() - arr.exts[i].Off,
+	}
+	rd, err := tc.Reader(span)
+	if err != nil {
+		return ms, err
+	}
+	stats.BitsRead += span.Bits
+	univ := int64(1) << uint(1<<uint(j))
+	for k := i; k < jj; k++ {
+		bm, err := cbitmap.Decode(rd, arr.cards[k], univ)
+		if err != nil {
+			return ms, fmt.Errorf("core: hashed level j=%d member %d: %w", j, k, err)
+		}
+		ms = append(ms, bm)
+	}
+	return ms, nil
+}
+
+// ApproxQuery answers I[lo;hi] with false-positive probability at most eps
+// per non-member ("The parameter ε is supplied as an argument to the query
+// algorithm"). When no hashed level is coarse enough to save I/O, the exact
+// Theorem 2 algorithm runs instead.
+func (ax *Approx) ApproxQuery(r index.Range, eps float64) (*Result, index.QueryStats, error) {
+	var stats index.QueryStats
+	if err := r.Valid(ax.tree.sigma); err != nil {
+		return nil, stats, err
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, stats, fmt.Errorf("core: eps %v outside (0,1)", eps)
+	}
+	tc := ax.disk.NewTouch()
+	aLo, err := tc.ReadBits(ax.aExt.Off+int64(r.Lo)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	aHi, err := tc.ReadBits(ax.aExt.Off+int64(r.Hi+1)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	qlo, qhi := int64(aLo), int64(aHi)
+	z := qhi - qlo
+
+	// Choose the smallest j with 2^(2^j) > z/ε.
+	j := 0
+	for jj := 1; jj <= ax.k; jj++ {
+		if math.Exp2(float64(int64(1)<<uint(jj))) > float64(z)/eps {
+			j = jj
+			break
+		}
+	}
+	if j == 0 {
+		// "If j > k we cannot save anything": answer exactly.
+		exact, st, err := ax.Query(r)
+		if err != nil {
+			return nil, st, err
+		}
+		return &Result{N: ax.tree.n, Exact: exact}, st, nil
+	}
+
+	var ms []*cbitmap.Bitmap
+	cover := ax.tree.Cover(qlo, qhi, func(v *Node) { ax.layout.charge(tc, v) })
+	for _, v := range cover {
+		ax.layout.charge(tc, v)
+		ms, err = ax.readHashChunk(tc, v, j, ms, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	set, err := cbitmap.Union(ms...)
+	if err != nil {
+		return nil, stats, err
+	}
+	univ := int64(1) << uint(1<<uint(j))
+	if set.Universe() < univ {
+		set = cbitmap.Empty(univ)
+	}
+	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+	return &Result{N: ax.tree.n, J: j, H: ax.hs[j-1], Set: set}, stats, nil
+}
+
+var _ index.Index = (*Approx)(nil)

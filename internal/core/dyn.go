@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/cbitmap"
+	"repro/internal/gamma"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// The semi-dynamic structures (Theorems 4 and 5) use a character-granularity
+// weight-balanced tree: leaves are single characters (every character,
+// including ones not yet seen, has a leaf so future appends route cleanly),
+// and heavy characters simply become heavy leaves. This matches the paper up
+// to its alphabet-expansion preprocessing (which splits characters with more
+// than n/2 occurrences); a heavy leaf's bitmap is read only when its
+// character is in the query range, in which case its size is output-bounded.
+// Materialised levels follow the Theorem 2 rule; member bitmaps are chained
+// block files so an append touches only the tail block of each affected
+// level (§4.1's "array of pointers to the disk block containing the last
+// occurrence").
+
+// dynNode is a skeleton node covering the character range [lo,hi].
+type dynNode struct {
+	depth       int
+	lo, hi      uint32
+	weight      int64 // current number of occurrences (plus 1 per char)
+	buildWeight int64 // weight when the subtree was last (re)built
+	children    []*dynNode
+	parent      *dynNode
+}
+
+func (v *dynNode) isLeaf() bool { return len(v.children) == 0 }
+
+// dynMember is one materialised bitmap: a node's position set stored as a
+// chained block file, plus (in the buffered variant) a one-block buffer of
+// pending appends.
+type dynMember struct {
+	node    *dynNode
+	level   int
+	chain   *iomodel.ChainFile
+	card    int64
+	lastPos int64 // last position applied to the chain (-1 if empty)
+
+	buf  iomodel.BlockID // buffered variant only
+	bufN int
+}
+
+// dynEntry is a pending append: position pos holds character ch.
+type dynEntry struct {
+	ch  uint32
+	pos int64
+}
+
+// dynEntryBits is the on-disk width of a buffered append (32-bit character,
+// 48-bit position).
+const dynEntryBits = 32 + 48
+
+// AppendOptions configures the Theorem 4/5 structures.
+type AppendOptions struct {
+	// Branching is the tree's branching parameter c (> 4).
+	Branching int
+	// Stride is the materialisation stride (2 = paper).
+	Stride int
+	// Buffered selects the Theorem 5 variant: B-bit buffers at members,
+	// amortised O(lg n / b) appends.
+	Buffered bool
+}
+
+func (o *AppendOptions) fill() {
+	if o.Branching == 0 {
+		o.Branching = DefaultBranching
+	}
+	if o.Stride == 0 {
+		o.Stride = 2
+	}
+}
+
+// AppendIndex is the semi-dynamic secondary index of Theorem 4 (direct
+// appends, amortised O(lg lg n) I/Os) or Theorem 5 (buffered appends,
+// amortised O(lg n / b) I/Os), selected by AppendOptions.Buffered.
+type AppendIndex struct {
+	disk *iomodel.Disk
+	opts AppendOptions
+
+	sigma  int
+	n      int64
+	buildN int64 // n at last global rebuild
+	counts []int64
+	byChar [][]int64 // in-memory mirror used for rebuilds
+
+	root    *dynNode
+	height  int
+	depths  []int
+	levels  [][]*dynMember // per materialised level, sorted by node.lo
+	nodeBlk map[*dynNode]iomodel.BlockID
+	nBlocks int
+
+	rootBuf []dynEntry // buffered variant: the in-memory root buffer
+	bufCap  int
+
+	// RebuildCount counts subtree rebuilds (exported for experiments).
+	RebuildCount int
+	// GlobalRebuildCount counts full rebuilds.
+	GlobalRebuildCount int
+}
+
+// BuildAppendIndex constructs the structure over an initial column (which
+// may be empty apart from its alphabet).
+func BuildAppendIndex(d *iomodel.Disk, col workload.Column, opts AppendOptions) (*AppendIndex, error) {
+	opts.fill()
+	if opts.Branching <= 4 {
+		return nil, fmt.Errorf("core: branching parameter %d must exceed 4", opts.Branching)
+	}
+	if col.Sigma < 1 {
+		return nil, fmt.Errorf("core: alphabet size %d", col.Sigma)
+	}
+	ax := &AppendIndex{
+		disk:    d,
+		opts:    opts,
+		sigma:   col.Sigma,
+		counts:  make([]int64, col.Sigma),
+		byChar:  make([][]int64, col.Sigma),
+		nodeBlk: make(map[*dynNode]iomodel.BlockID),
+	}
+	ax.bufCap = d.BlockBits() / dynEntryBits
+	if opts.Buffered && ax.bufCap < 4 {
+		return nil, fmt.Errorf("core: block size %d bits holds fewer than 4 buffered appends", d.BlockBits())
+	}
+	for i, ch := range col.X {
+		if int(ch) >= col.Sigma {
+			return nil, fmt.Errorf("core: character %d outside alphabet [0,%d)", ch, col.Sigma)
+		}
+		ax.byChar[ch] = append(ax.byChar[ch], int64(i))
+		ax.counts[ch]++
+		ax.n++
+	}
+	ax.rebuildAll(d.NewTouch())
+	d.ResetStats()
+	return ax, nil
+}
+
+// pseudoWeight returns the routing weight of chars [lo,hi]: occurrences plus
+// one per character, so empty characters still get leaves.
+func (ax *AppendIndex) pseudoWeight(lo, hi uint32) int64 {
+	var w int64
+	for a := lo; a <= hi; a++ {
+		w += ax.counts[a] + 1
+	}
+	return w
+}
+
+// buildSkeleton recursively builds the subtree for chars [lo,hi].
+func (ax *AppendIndex) buildSkeleton(parent *dynNode, depth int, lo, hi uint32, h int) *dynNode {
+	return buildCharSkeleton(ax.counts, ax.opts.Branching, parent, depth, lo, hi, h)
+}
+
+// buildCharSkeleton builds a weight-balanced tree over characters [lo,hi]
+// weighted by counts[a]+1 (shared by Theorems 4, 5 and 7).
+func buildCharSkeleton(counts []int64, c int, parent *dynNode, depth int, lo, hi uint32, h int) *dynNode {
+	v := &dynNode{depth: depth, lo: lo, hi: hi, parent: parent}
+	for a := lo; a <= hi; a++ {
+		v.weight += counts[a] + 1
+	}
+	v.buildWeight = v.weight
+	if lo == hi {
+		return v
+	}
+	target := math.Pow(float64(c), float64(h-depth-1))
+	k := int(math.Round(float64(v.weight) / target))
+	if k < 2 {
+		k = 2
+	}
+	if k > 4*c {
+		k = 4 * c
+	}
+	if k > int(hi-lo+1) {
+		k = int(hi - lo + 1)
+	}
+	// Cut [lo,hi] into k contiguous groups at the cumulative-weight
+	// boundaries i·W/k, keeping every group non-empty.
+	loI, hiI := int(lo), int(hi)
+	cuts := make([]int, 1, k+1)
+	cuts[0] = loI
+	var cum int64
+	next := 1
+	for a := loI; a <= hiI && next < k; a++ {
+		cum += counts[a] + 1
+		for next < k && cum*int64(k) >= int64(next)*v.weight {
+			b := a + 1
+			if maxStart := hiI - (k - next) + 1; b > maxStart {
+				b = maxStart
+			}
+			if b <= cuts[len(cuts)-1] {
+				b = cuts[len(cuts)-1] + 1
+			}
+			cuts = append(cuts, b)
+			next++
+		}
+	}
+	for next < k { // pad: remaining groups get one character each
+		cuts = append(cuts, cuts[len(cuts)-1]+1)
+		next++
+	}
+	cuts = append(cuts, hiI+1)
+	for i := 0; i < k; i++ {
+		v.children = append(v.children, buildCharSkeleton(counts, c, v, depth+1, uint32(cuts[i]), uint32(cuts[i+1]-1), h))
+	}
+	return v
+}
+
+// rebuildAll reconstructs the whole structure from byChar (initial build and
+// global rebuilds when n doubles). All I/O is charged to tc.
+func (ax *AppendIndex) rebuildAll(tc *iomodel.Touch) {
+	// Free all existing chains.
+	for _, lvl := range ax.levels {
+		for _, m := range lvl {
+			m.chain.Truncate()
+		}
+	}
+	total := ax.n + int64(ax.sigma)
+	h := int(math.Ceil(math.Log(float64(total)) / math.Log(float64(ax.opts.Branching))))
+	if h < 1 {
+		h = 1
+	}
+	ax.root = ax.buildSkeleton(nil, 0, 0, uint32(ax.sigma-1), h)
+	ax.height = 0
+	var scan func(v *dynNode)
+	var all []*dynNode
+	scan = func(v *dynNode) {
+		all = append(all, v)
+		if v.depth > ax.height {
+			ax.height = v.depth
+		}
+		for _, c := range v.children {
+			scan(c)
+		}
+	}
+	scan(ax.root)
+	ax.depths = materialDepths(ax.height, ax.opts.Stride)
+	ax.levels = make([][]*dynMember, len(ax.depths))
+	for _, v := range all {
+		li := ax.memberLevelOf(v)
+		if li < 0 {
+			continue
+		}
+		m := &dynMember{node: v, level: li, chain: iomodel.NewChainFile(ax.disk), lastPos: -1}
+		if ax.opts.Buffered {
+			m.buf = ax.disk.AllocBlock()
+		}
+		ax.levels[li] = append(ax.levels[li], m)
+	}
+	for li := range ax.levels {
+		sort.Slice(ax.levels[li], func(i, j int) bool { return ax.levels[li][i].node.lo < ax.levels[li][j].node.lo })
+		for _, m := range ax.levels[li] {
+			ax.writeMemberChain(tc, m)
+		}
+	}
+	// Pack the skeleton into structure blocks (paper's blocked layout).
+	ax.packLayout(all)
+	ax.buildN = ax.n
+	ax.GlobalRebuildCount++
+	ax.rootBuf = ax.rootBuf[:0]
+}
+
+// memberLevelOf returns the materialised level index for node v, or -1.
+// Leaves go to the first materialised level at or below their depth
+// (clamped to the last level); internal nodes are members only at
+// materialised depths strictly above the last level — the last level is
+// leaves-only ("store all the leaves explicitly"), which keeps frontier
+// tiling valid even when later subtree rebuilds create leaves deeper than
+// the original height.
+func (ax *AppendIndex) memberLevelOf(v *dynNode) int {
+	i := sort.SearchInts(ax.depths, v.depth)
+	if v.isLeaf() {
+		if i >= len(ax.depths) {
+			i = len(ax.depths) - 1
+		}
+		return i
+	}
+	if i < len(ax.depths)-1 && ax.depths[i] == v.depth {
+		return i
+	}
+	return -1
+}
+
+// writeMemberChain encodes the node's current position set into its chain.
+func (ax *AppendIndex) writeMemberChain(tc *iomodel.Touch, m *dynMember) {
+	pos := ax.positions(m.node.lo, m.node.hi)
+	w := bitio.NewWriter(len(pos) * 8)
+	for i, p := range pos {
+		if i == 0 {
+			gamma.Write(w, uint64(p+1))
+		} else {
+			gamma.Write(w, uint64(p-pos[i-1]))
+		}
+	}
+	m.card = int64(len(pos))
+	m.lastPos = -1
+	if len(pos) > 0 {
+		m.lastPos = pos[len(pos)-1]
+	}
+	if err := m.chain.Replace(tc, w); err != nil {
+		panic(fmt.Sprintf("core: chain replace: %v", err))
+	}
+}
+
+// positions returns the sorted positions of chars [lo,hi].
+func (ax *AppendIndex) positions(lo, hi uint32) []int64 {
+	var out []int64
+	for a := lo; a <= hi; a++ {
+		out = append(out, ax.byChar[a]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// packLayout assigns skeleton nodes to structure blocks, top Θ(lg b) levels
+// per block, recursively (the Theorem 2 layout).
+func (ax *AppendIndex) packLayout(all []*dynNode) {
+	cap := ax.disk.BlockBits() / nodeRecordBits
+	if cap < 1 {
+		cap = 1
+	}
+	ax.nodeBlk = make(map[*dynNode]iomodel.BlockID, len(all))
+	ax.nBlocks = 0
+	pending := []*dynNode{ax.root}
+	for len(pending) > 0 {
+		blk := ax.disk.AllocBlock()
+		ax.nBlocks++
+		count := 0
+		for len(pending) > 0 && count < cap {
+			queue := []*dynNode{pending[0]}
+			pending = pending[1:]
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				if count == cap {
+					pending = append(pending, v)
+					continue
+				}
+				ax.nodeBlk[v] = blk
+				count++
+				queue = append(queue, v.children...)
+			}
+		}
+	}
+}
+
+// chargeNode marks the structure block of v read.
+func (ax *AppendIndex) chargeNode(tc *iomodel.Touch, v *dynNode) {
+	if blk, ok := ax.nodeBlk[v]; ok {
+		_, _ = tc.ReadBits(ax.disk.BlockOff(blk), 1)
+	}
+}
+
+// memberFor returns the member at level li whose range contains ch, or nil.
+func (ax *AppendIndex) memberFor(li int, ch uint32) *dynMember {
+	lvl := ax.levels[li]
+	i := sort.Search(len(lvl), func(j int) bool { return lvl[j].node.lo > ch }) - 1
+	if i < 0 || lvl[i].node.hi < ch {
+		return nil
+	}
+	return lvl[i]
+}
+
+// membersWithin returns the member index range [i,j) at level li tiling the
+// char range [lo,hi] of a cover node at that level's frontier.
+func (ax *AppendIndex) membersWithin(li int, lo, hi uint32) (int, int, error) {
+	lvl := ax.levels[li]
+	i := sort.Search(len(lvl), func(j int) bool { return lvl[j].node.lo >= lo })
+	j := i
+	for j < len(lvl) && lvl[j].node.hi <= hi {
+		j++
+	}
+	if i == j || lvl[i].node.lo != lo || lvl[j-1].node.hi != hi {
+		return 0, 0, fmt.Errorf("core: members do not tile chars [%d,%d] at level %d", lo, hi, li)
+	}
+	return i, j, nil
+}
+
+// MaterialisedLevels returns the number of materialised levels (O(lg lg n)).
+func (ax *AppendIndex) MaterialisedLevels() int { return len(ax.depths) }
+
+// Name implements index.Index.
+func (ax *AppendIndex) Name() string {
+	if ax.opts.Buffered {
+		return "pr-buffered"
+	}
+	return "pr-semidyn"
+}
+
+// Len implements index.Index.
+func (ax *AppendIndex) Len() int64 { return ax.n }
+
+// Sigma implements index.Index.
+func (ax *AppendIndex) Sigma() int { return ax.sigma }
+
+// SizeBits implements index.Index: chains, buffers, directory and layout.
+func (ax *AppendIndex) SizeBits() int64 {
+	var bits int64
+	var members int64
+	for _, lvl := range ax.levels {
+		for _, m := range lvl {
+			bits += int64(m.chain.Blocks()) * int64(ax.disk.BlockBits())
+			members++
+		}
+	}
+	if ax.opts.Buffered {
+		bits += members * int64(ax.disk.BlockBits())
+	}
+	bits += members * 4 * 64                               // directory
+	bits += int64(ax.nBlocks) * int64(ax.disk.BlockBits()) // layout
+	bits += int64(ax.sigma) * 64                           // counts array
+	return bits
+}
+
+// readMemberSet decodes a member's chain into a bitmap over [0,n).
+func (ax *AppendIndex) readMemberSet(tc *iomodel.Touch, m *dynMember, stats *index.QueryStats) (*cbitmap.Bitmap, error) {
+	rd, err := m.chain.ReadAll(tc)
+	if err != nil {
+		return nil, err
+	}
+	stats.BitsRead += m.chain.Bits()
+	pos := make([]int64, 0, m.card)
+	var prev int64 = -1
+	for i := int64(0); i < m.card; i++ {
+		g, err := gamma.Read(rd)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt member chain: %w", err)
+		}
+		if i == 0 {
+			prev = int64(g) - 1
+		} else {
+			prev += int64(g)
+		}
+		pos = append(pos, prev)
+	}
+	return cbitmap.FromPositions(ax.n, pos)
+}
+
+// appendToChain appends position pos to member m's chain (tail block only).
+func (ax *AppendIndex) appendToChain(tc *iomodel.Touch, m *dynMember, pos int64) error {
+	w := bitio.NewWriter(16)
+	if m.card == 0 {
+		gamma.Write(w, uint64(pos+1))
+	} else {
+		if pos <= m.lastPos {
+			return fmt.Errorf("core: append of position %d out of order (last %d)", pos, m.lastPos)
+		}
+		gamma.Write(w, uint64(pos-m.lastPos))
+	}
+	if err := m.chain.Append(tc, w); err != nil {
+		return err
+	}
+	m.card++
+	m.lastPos = pos
+	return nil
+}

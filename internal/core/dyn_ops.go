@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/cbitmap"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+)
+
+// Append appends character ch at the end of the string (the paper's
+// append(x, α)). Theorem 4 (direct) touches the tail block of the affected
+// member at each materialised level, amortised O(lg lg n) I/Os; Theorem 5
+// (buffered) stages the append through member buffers, amortised
+// O(lg n / b) I/Os.
+func (ax *AppendIndex) Append(ch uint32) (index.QueryStats, error) {
+	var stats index.QueryStats
+	if int(ch) >= ax.sigma {
+		return stats, fmt.Errorf("core: character %d outside alphabet [0,%d)", ch, ax.sigma)
+	}
+	pos := ax.n
+	if pos >= 1<<47 {
+		return stats, fmt.Errorf("core: position %d outside encodable range", pos)
+	}
+	tc := ax.disk.NewTouch()
+	if ax.opts.Buffered {
+		ax.rootBuf = append(ax.rootBuf, dynEntry{ch: ch, pos: pos})
+		if len(ax.rootBuf) >= ax.bufCap {
+			if err := ax.flushRoot(tc); err != nil {
+				return stats, err
+			}
+		}
+	} else {
+		// "One bitmap in each materialized level (namely the one
+		// corresponding to the last occurrence of that character) will be
+		// affected by an update."
+		for li := range ax.levels {
+			m := ax.memberFor(li, ch)
+			if m == nil {
+				continue
+			}
+			if err := ax.appendToChain(tc, m, pos); err != nil {
+				return stats, err
+			}
+		}
+	}
+	// Bookkeeping and weight maintenance.
+	ax.byChar[ch] = append(ax.byChar[ch], pos)
+	ax.counts[ch]++
+	ax.n++
+	var violated *dynNode
+	v := ax.root
+	for {
+		v.weight++
+		if v.depth > 0 && violated == nil && v.weight > 2*v.buildWeight && v.weight > 16 {
+			violated = v
+		}
+		if v.isLeaf() {
+			break
+		}
+		ci := sort.Search(len(v.children), func(i int) bool { return v.children[i].hi >= ch })
+		v = v.children[ci]
+	}
+	if ax.n >= 2*ax.buildN+16 {
+		ax.rebuildAll(tc)
+	} else if violated != nil {
+		// "We re-build the subtree rooted at u", the parent of the highest
+		// node violating the weight-balancing condition.
+		target := violated
+		if target.parent != nil {
+			target = target.parent
+		}
+		if target.parent == nil {
+			ax.rebuildAll(tc)
+		} else if err := ax.rebuildSubtree(tc, target); err != nil {
+			return stats, err
+		}
+	}
+	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+	return stats, nil
+}
+
+// rebuildSubtree replaces u's subtree: the old member chains below u are
+// read (charged) and freed, a fresh weight-balanced skeleton is built for
+// u's character range, and the new members' chains are written from the
+// current position lists.
+func (ax *AppendIndex) rebuildSubtree(tc *iomodel.Touch, u *dynNode) error {
+	// Remove and free the members inside u's subtree.
+	for li := range ax.levels {
+		lvl := ax.levels[li]
+		i := sort.Search(len(lvl), func(j int) bool { return lvl[j].node.lo >= u.lo })
+		j := i
+		for j < len(lvl) && lvl[j].node.hi <= u.hi {
+			if lvl[j].node.depth < u.depth {
+				return fmt.Errorf("core: member at depth %d inside char range of depth-%d subtree", lvl[j].node.depth, u.depth)
+			}
+			// Charge the read of the old chain (the rebuild scans it).
+			if _, err := lvl[j].chain.ReadAll(tc); err != nil {
+				return err
+			}
+			lvl[j].chain.Truncate()
+			if ax.opts.Buffered {
+				ax.disk.FreeBlock(lvl[j].buf)
+			}
+			j++
+		}
+		ax.levels[li] = append(lvl[:i:i], lvl[j:]...)
+	}
+	// Build the fresh skeleton with the same target height.
+	hTarget := u.depth + heightFor(ax.pseudoWeight(u.lo, u.hi), ax.opts.Branching)
+	fresh := ax.buildSkeleton(u.parent, u.depth, u.lo, u.hi, hTarget)
+	parent := u.parent
+	for i, ch := range parent.children {
+		if ch == u {
+			parent.children[i] = fresh
+			break
+		}
+	}
+	// Create members for the new subtree.
+	var all []*dynNode
+	var scan func(v *dynNode)
+	scan = func(v *dynNode) {
+		all = append(all, v)
+		if v.depth > ax.height {
+			ax.height = v.depth
+		}
+		for _, c := range v.children {
+			scan(c)
+		}
+	}
+	scan(fresh)
+	blk, hadBlk := ax.nodeBlk[u]
+	for _, v := range all {
+		// Layout: new nodes inherit the rebuilt root's structure block (an
+		// under-approximation of the repacked layout; global rebuilds repack
+		// exactly).
+		if hadBlk {
+			ax.nodeBlk[v] = blk
+		}
+		li := ax.memberLevelOf(v)
+		if li < 0 {
+			continue
+		}
+		m := &dynMember{node: v, level: li, chain: iomodel.NewChainFile(ax.disk), lastPos: -1}
+		if ax.opts.Buffered {
+			m.buf = ax.disk.AllocBlock()
+		}
+		ax.writeMemberChain(tc, m)
+		lvl := ax.levels[li]
+		at := sort.Search(len(lvl), func(j int) bool { return lvl[j].node.lo > v.lo })
+		lvl = append(lvl, nil)
+		copy(lvl[at+1:], lvl[at:])
+		lvl[at] = m
+		ax.levels[li] = lvl
+	}
+	ax.RebuildCount++
+	return nil
+}
+
+// heightFor returns ceil(log_c(w)), at least 1.
+func heightFor(w int64, c int) int {
+	h := 0
+	for pow := int64(1); pow < w; pow *= int64(c) {
+		h++
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// readMemberBuf decodes a member's buffered appends, charging one read.
+func (ax *AppendIndex) readMemberBuf(tc *iomodel.Touch, m *dynMember) ([]dynEntry, error) {
+	if m.bufN == 0 {
+		return nil, nil
+	}
+	rd, err := tc.Reader(iomodel.Extent{Off: ax.disk.BlockOff(m.buf), Bits: int64(m.bufN) * dynEntryBits})
+	if err != nil {
+		return nil, err
+	}
+	es := make([]dynEntry, 0, m.bufN)
+	for i := 0; i < m.bufN; i++ {
+		ch, _ := rd.ReadBits(32)
+		pos, err := rd.ReadBits(48)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt append buffer: %w", err)
+		}
+		es = append(es, dynEntry{ch: uint32(ch), pos: int64(pos)})
+	}
+	return es, nil
+}
+
+// writeMemberBuf stores a member's buffered appends, charging one write.
+func (ax *AppendIndex) writeMemberBuf(tc *iomodel.Touch, m *dynMember, es []dynEntry) error {
+	if len(es) > ax.bufCap {
+		return fmt.Errorf("core: append buffer overflow (%d > %d)", len(es), ax.bufCap)
+	}
+	w := bitio.NewWriter(len(es) * dynEntryBits)
+	for _, e := range es {
+		w.WriteBits(uint64(e.ch), 32)
+		w.WriteBits(uint64(e.pos), 48)
+	}
+	m.bufN = len(es)
+	return tc.WriteStream(iomodel.Extent{Off: ax.disk.BlockOff(m.buf), Bits: int64(w.Len())}, w)
+}
+
+// isTerminal reports whether member m has no member children at the next
+// level (its node is a leaf, or the last level is reached).
+func (ax *AppendIndex) isTerminal(m *dynMember) bool {
+	if m.node.isLeaf() || m.level+1 >= len(ax.levels) {
+		return true
+	}
+	return false
+}
+
+// applyEntries appends the still-unapplied entries to m's chain. Entries
+// arrive in position order (the convoy property: all entries destined to a
+// member travel together through its ancestors, preserving FIFO = position
+// order). Entries at or below lastPos were already applied, possibly by a
+// rebuild.
+func (ax *AppendIndex) applyEntries(tc *iomodel.Touch, m *dynMember, es []dynEntry) error {
+	for _, e := range es {
+		if e.pos <= m.lastPos {
+			continue
+		}
+		if err := ax.appendToChain(tc, m, e.pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushRoot moves the dominant destination's entries from the in-memory
+// root buffer into the member tree.
+func (ax *AppendIndex) flushRoot(tc *iomodel.Touch) error {
+	counts := make(map[*dynMember]int)
+	for _, e := range ax.rootBuf {
+		counts[ax.memberFor(0, e.ch)]++
+	}
+	var best *dynMember
+	bestN := -1
+	for m, n := range counts {
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("core: no destination member for buffered appends")
+	}
+	var moved, rest []dynEntry
+	for _, e := range ax.rootBuf {
+		if ax.memberFor(0, e.ch) == best {
+			moved = append(moved, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	ax.rootBuf = rest
+	return ax.deliverDyn(tc, best, moved)
+}
+
+// deliverDyn delivers a batch of appends to member m: terminal members
+// apply directly; others buffer, applying and cascading on overflow ("if
+// node u is stored explicitly, then we perform these updates on the bitmap
+// associated with u ... delete those updates from the buffer at u and
+// insert them into the buffer at node v").
+func (ax *AppendIndex) deliverDyn(tc *iomodel.Touch, m *dynMember, batch []dynEntry) error {
+	if ax.isTerminal(m) {
+		return ax.applyEntries(tc, m, batch)
+	}
+	es, err := ax.readMemberBuf(tc, m)
+	if err != nil {
+		return err
+	}
+	es = append(es, batch...)
+	var overflow [][]dynEntry
+	var dests []*dynMember
+	for len(es) >= ax.bufCap {
+		// Apply everything new to m's own bitmap, then move the dominant
+		// child's convoy down.
+		if err := ax.applyEntries(tc, m, es); err != nil {
+			return err
+		}
+		counts := make(map[*dynMember]int)
+		for _, e := range es {
+			counts[ax.memberFor(m.level+1, e.ch)]++
+		}
+		var best *dynMember
+		bestN := -1
+		for dm, n := range counts {
+			if n > bestN {
+				best, bestN = dm, n
+			}
+		}
+		if best == nil {
+			return fmt.Errorf("core: no next-level member under member at depth %d", m.node.depth)
+		}
+		var moved, rest []dynEntry
+		for _, e := range es {
+			if ax.memberFor(m.level+1, e.ch) == best {
+				moved = append(moved, e)
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		overflow = append(overflow, moved)
+		dests = append(dests, best)
+		es = rest
+	}
+	if err := ax.writeMemberBuf(tc, m, es); err != nil {
+		return err
+	}
+	for i, moved := range overflow {
+		if err := ax.deliverDyn(tc, dests[i], moved); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coverChars decomposes the character range [lo,hi] into maximal subtrees.
+func (ax *AppendIndex) coverChars(tc *iomodel.Touch, lo, hi uint32) []*dynNode {
+	var out []*dynNode
+	var rec func(v *dynNode)
+	rec = func(v *dynNode) {
+		if v.hi < lo || v.lo > hi {
+			return
+		}
+		if lo <= v.lo && v.hi <= hi {
+			out = append(out, v)
+			return
+		}
+		ax.chargeNode(tc, v)
+		for _, c := range v.children {
+			rec(c)
+		}
+	}
+	rec(ax.root)
+	return out
+}
+
+// levelForDepth maps a cover node depth to its materialised level index.
+func (ax *AppendIndex) levelForDepth(d int) int {
+	i := sort.Search(len(ax.depths), func(k int) bool { return ax.depths[k] >= d })
+	if i >= len(ax.depths) {
+		i = len(ax.depths) - 1
+	}
+	return i
+}
+
+// Count returns z = |I[al;ar]| from the in-memory counts (the paper's A
+// array; O(1) I/Os in the disk layout, uncharged here).
+func (ax *AppendIndex) Count(lo, hi uint32) int64 {
+	var z int64
+	for a := lo; a <= hi; a++ {
+		z += ax.counts[a]
+	}
+	return z
+}
+
+// queryChars unions the cover of [lo,hi] into ms.
+func (ax *AppendIndex) queryChars(tc *iomodel.Touch, lo, hi uint32, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
+	if lo > hi {
+		return ms, nil
+	}
+	for _, u := range ax.coverChars(tc, lo, hi) {
+		ax.chargeNode(tc, u)
+		li := ax.levelForDepth(u.depth)
+		i, j, err := ax.membersWithin(li, u.lo, u.hi)
+		if err != nil {
+			return ms, err
+		}
+		var pend []int64
+		for k := i; k < j; k++ {
+			m := ax.levels[li][k]
+			bm, err := ax.readMemberSet(tc, m, stats)
+			if err != nil {
+				return ms, err
+			}
+			ms = append(ms, bm)
+			if ax.opts.Buffered && !ax.isTerminal(m) {
+				// Pending appends in the frontier member's own buffer.
+				es, err := ax.readMemberBuf(tc, m)
+				if err != nil {
+					return ms, err
+				}
+				for _, e := range es {
+					if e.pos > m.lastPos {
+						pend = append(pend, e.pos)
+					}
+				}
+			}
+		}
+		if ax.opts.Buffered {
+			// Pending appends in the buffers of u's materialised ancestors.
+			for la := 0; la < li; la++ {
+				m := ax.memberFor(la, u.lo)
+				if m == nil || ax.isTerminal(m) {
+					continue
+				}
+				es, err := ax.readMemberBuf(tc, m)
+				if err != nil {
+					return ms, err
+				}
+				for _, e := range es {
+					if e.ch >= u.lo && e.ch <= u.hi {
+						pend = append(pend, e.pos)
+					}
+				}
+			}
+		}
+		if len(pend) > 0 {
+			bm, err := cbitmap.FromUnsorted(ax.n, pend)
+			if err != nil {
+				return ms, err
+			}
+			ms = append(ms, bm)
+		}
+	}
+	return ms, nil
+}
+
+// Query implements index.Index.
+func (ax *AppendIndex) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	var stats index.QueryStats
+	if err := r.Valid(ax.sigma); err != nil {
+		return nil, stats, err
+	}
+	tc := ax.disk.NewTouch()
+	z := ax.Count(r.Lo, r.Hi)
+	complement := z > ax.n/2
+	var ms []*cbitmap.Bitmap
+	var err error
+	if complement {
+		if r.Lo > 0 {
+			ms, err = ax.queryChars(tc, 0, r.Lo-1, ms, &stats)
+		}
+		if err == nil && int(r.Hi) < ax.sigma-1 {
+			ms, err = ax.queryChars(tc, r.Hi+1, uint32(ax.sigma-1), ms, &stats)
+		}
+	} else {
+		ms, err = ax.queryChars(tc, r.Lo, r.Hi, ms, &stats)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	// Root-buffer (in-memory) pending appends.
+	if ax.opts.Buffered {
+		var pend []int64
+		inRange := func(c uint32) bool {
+			if complement {
+				return c < r.Lo || c > r.Hi
+			}
+			return c >= r.Lo && c <= r.Hi
+		}
+		for _, e := range ax.rootBuf {
+			if inRange(e.ch) {
+				pend = append(pend, e.pos)
+			}
+		}
+		if len(pend) > 0 {
+			bm, err := cbitmap.FromUnsorted(ax.n, pend)
+			if err != nil {
+				return nil, stats, err
+			}
+			ms = append(ms, bm)
+		}
+	}
+	out, err := cbitmap.Union(ms...)
+	if err != nil {
+		return nil, stats, err
+	}
+	if out.Universe() < ax.n {
+		out = cbitmap.Empty(ax.n)
+	}
+	if complement {
+		out = out.Complement()
+	}
+	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+	return out, stats, nil
+}
+
+var _ index.Appender = (*AppendIndex)(nil)

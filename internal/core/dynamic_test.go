@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// checkDynamic compares the Dynamic index against a mirrored column where
+// deleted positions are marked with a sentinel outside the query alphabet.
+func checkDynamic(t *testing.T, dx *Dynamic, x []uint32, q workload.RangeQuery) {
+	t.Helper()
+	got, _, err := dx.Query(index.Range{Lo: q.Lo, Hi: q.Hi})
+	if err != nil {
+		t.Fatalf("query [%d,%d]: %v", q.Lo, q.Hi, err)
+	}
+	var want []int64
+	for i, v := range x {
+		if v >= q.Lo && v <= q.Hi {
+			want = append(want, int64(i))
+		}
+	}
+	gp := got.Positions()
+	if len(gp) != len(want) {
+		t.Fatalf("query [%d,%d]: %d results, want %d", q.Lo, q.Hi, len(gp), len(want))
+	}
+	for i := range want {
+		if gp[i] != want[i] {
+			t.Fatalf("query [%d,%d]: result %d = %d, want %d", q.Lo, q.Hi, i, gp[i], want[i])
+		}
+	}
+}
+
+func TestDynamicBuildAndQuery(t *testing.T) {
+	col := workload.Uniform(2000, 32, 1)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	dx, err := BuildDynamic(d, col, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range workload.RandomRanges(30, 32, 6, 2) {
+		checkDynamic(t, dx, col.X, q)
+	}
+	checkDynamic(t, dx, col.X, workload.RangeQuery{Lo: 0, Hi: 31})
+}
+
+func TestDynamicChanges(t *testing.T) {
+	col := workload.Uniform(1500, 16, 3)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	dx, err := BuildDynamic(d, col, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := append([]uint32(nil), col.X...)
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 2000; step++ {
+		i := rng.Int63n(int64(len(x)))
+		ch := uint32(rng.Intn(16))
+		if _, err := dx.Change(i, ch); err != nil {
+			t.Fatal(err)
+		}
+		x[i] = ch
+		if step%333 == 0 {
+			for _, q := range workload.RandomRanges(5, 16, 1+rng.Intn(8), int64(step)) {
+				checkDynamic(t, dx, x, q)
+			}
+		}
+	}
+	for _, q := range workload.RandomRanges(15, 16, 4, 5) {
+		checkDynamic(t, dx, x, q)
+	}
+}
+
+func TestDynamicDeletes(t *testing.T) {
+	col := workload.Uniform(1000, 8, 6)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	dx, err := BuildDynamic(d, col, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := append([]uint32(nil), col.X...)
+	rng := rand.New(rand.NewSource(7))
+	const gone = uint32(1 << 30) // sentinel outside any query range
+	for step := 0; step < 400; step++ {
+		i := rng.Int63n(int64(len(x)))
+		if _, err := dx.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+		x[i] = gone
+	}
+	for _, q := range workload.RandomRanges(10, 8, 3, 8) {
+		checkDynamic(t, dx, x, q)
+	}
+	// Dense query must not resurface deleted positions via the complement.
+	checkDynamic(t, dx, x, workload.RangeQuery{Lo: 0, Hi: 7})
+	checkDynamic(t, dx, x, workload.RangeQuery{Lo: 0, Hi: 6})
+}
+
+func TestDynamicAppends(t *testing.T) {
+	col := workload.Uniform(500, 16, 9)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	dx, err := BuildDynamic(d, col, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := append([]uint32(nil), col.X...)
+	rng := rand.New(rand.NewSource(10))
+	for step := 0; step < 1500; step++ {
+		ch := uint32(rng.Intn(16))
+		if _, err := dx.Append(ch); err != nil {
+			t.Fatal(err)
+		}
+		x = append(x, ch)
+	}
+	if dx.Len() != int64(len(x)) {
+		t.Fatalf("Len = %d, want %d", dx.Len(), len(x))
+	}
+	for _, q := range workload.RandomRanges(10, 16, 5, 11) {
+		checkDynamic(t, dx, x, q)
+	}
+}
+
+func TestDynamicMixedWorkload(t *testing.T) {
+	col := workload.Uniform(800, 12, 12)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	dx, err := BuildDynamic(d, col, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := append([]uint32(nil), col.X...)
+	rng := rand.New(rand.NewSource(13))
+	const gone = uint32(1 << 30)
+	for step := 0; step < 1200; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			ch := uint32(rng.Intn(12))
+			dx.Append(ch)
+			x = append(x, ch)
+		case 1:
+			i := rng.Int63n(int64(len(x)))
+			dx.Delete(i)
+			x[i] = gone
+		default:
+			i := rng.Int63n(int64(len(x)))
+			if x[i] == gone {
+				continue // deleted rows stay deleted
+			}
+			ch := uint32(rng.Intn(12))
+			dx.Change(i, ch)
+			x[i] = ch
+		}
+		if step%400 == 399 {
+			for _, q := range workload.RandomRanges(4, 12, 1+rng.Intn(6), int64(step)) {
+				checkDynamic(t, dx, x, q)
+			}
+		}
+	}
+	for _, q := range workload.RandomRanges(10, 12, 3, 14) {
+		checkDynamic(t, dx, x, q)
+	}
+	checkDynamic(t, dx, x, workload.RangeQuery{Lo: 0, Hi: 11})
+}
+
+func TestDynamicUpdateCostAmortised(t *testing.T) {
+	// Theorem 7: amortised O(lg n lg lg n / b) I/Os per update; with large
+	// blocks this should be far below the lg lg n levels a direct update
+	// would touch.
+	col := workload.Uniform(4000, 32, 15)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+	dx, err := BuildDynamic(d, col, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	var total int64
+	const updates = 4000 // stays under the global-rebuild threshold
+	for i := 0; i < updates; i++ {
+		st, err := dx.Change(rng.Int63n(dx.Len()), uint32(rng.Intn(32)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(st.Reads + st.Writes)
+	}
+	per := float64(total) / updates
+	if per > 3.0 {
+		t.Fatalf("amortised change cost %.2f I/Os", per)
+	}
+}
+
+func TestDynamicErrors(t *testing.T) {
+	col := workload.Uniform(100, 4, 17)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	dx, err := BuildDynamic(d, col, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dx.Change(-1, 0); err == nil {
+		t.Fatal("negative position accepted")
+	}
+	if _, err := dx.Change(100, 0); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+	if _, err := dx.Change(0, 4); err == nil {
+		t.Fatal("out-of-alphabet character accepted")
+	}
+	if _, err := dx.Delete(200); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+	if _, _, err := dx.Query(index.Range{Lo: 0, Hi: 4}); err == nil {
+		t.Fatal("out-of-alphabet query accepted")
+	}
+}

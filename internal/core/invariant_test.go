@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// TestOptimalFrontierTiling checks the invariant the query algorithm lives
+// on: for EVERY tree node u (any potential cover subtree), the members of
+// u's materialised level tile u's record range exactly — one contiguous
+// chunk, no gaps, no overlap.
+func TestOptimalFrontierTiling(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		col    workload.Column
+		stride int
+	}{
+		{"uniform-s2", workload.Uniform(6000, 64, 1), 2},
+		{"uniform-s1", workload.Uniform(6000, 64, 1), 1},
+		{"zipf", workload.Zipf(6000, 256, 1.2, 2), 2},
+		{"runs", workload.Runs(6000, 32, 25, 3), 2},
+		{"heavy-char", workload.Column{X: heavySkew(4000), Sigma: 16}, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+			ix, err := BuildOptimal(d, tc.col, OptimalOptions{Stride: tc.stride})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range ix.tree.Nodes {
+				lv := &ix.levels[ix.levelFor(v.Depth)]
+				i, j, err := lv.chunk(v.Start, v.End)
+				if err != nil {
+					t.Fatalf("node %d (depth %d, records [%d,%d)): %v", v.ID, v.Depth, v.Start, v.End, err)
+				}
+				// The chunk must be internally contiguous.
+				for k := i + 1; k < j; k++ {
+					if lv.members[k].start != lv.members[k-1].end {
+						t.Fatalf("node %d: member gap at chunk index %d", v.ID, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// heavySkew builds a column where one character holds half the positions —
+// the case the paper handles by alphabet expansion and our record-splitting
+// construction handles by splitting the character across subtrees.
+func heavySkew(n int) []uint32 {
+	x := make([]uint32, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = 7
+		} else {
+			x[i] = uint32(i % 16)
+		}
+	}
+	return x
+}
+
+// TestAppendIndexFrontierTiling checks the same invariant for the dynamic
+// character-granularity structure, including after rebuilds.
+func TestAppendIndexFrontierTiling(t *testing.T) {
+	col := workload.Uniform(500, 64, 4)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	ax, err := BuildAppendIndex(d, col, AppendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		var walk func(v *dynNode)
+		walk = func(v *dynNode) {
+			li := ax.levelForDepth(v.depth)
+			if _, _, err := ax.membersWithin(li, v.lo, v.hi); err != nil {
+				t.Fatalf("%s: node depth %d chars [%d,%d]: %v", label, v.depth, v.lo, v.hi, err)
+			}
+			for _, c := range v.children {
+				walk(c)
+			}
+		}
+		walk(ax.root)
+	}
+	check("initial")
+	// Skewed appends trigger subtree rebuilds; the invariant must survive.
+	for i := 0; i < 3000; i++ {
+		if _, err := ax.Append(uint32(i % 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after skewed appends")
+	if ax.RebuildCount+ax.GlobalRebuildCount == 0 {
+		t.Fatal("expected rebuilds from skewed appends")
+	}
+}
+
+// TestOptimalLargeScale is a soak test at a realistic size (skipped with
+// -short): n = 2^19, σ = 2^12.
+func TestOptimalLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	col := workload.Zipf(1<<19, 1<<12, 0.9, 5)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 32768})
+	ix, err := BuildOptimalDefault(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range workload.RandomRanges(20, 1<<12, 64, 6) {
+		checkIndexAgainstBrute(t, ix, col, q)
+	}
+	checkIndexAgainstBrute(t, ix, col, workload.RangeQuery{Lo: 0, Hi: 1<<12 - 1})
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/cbitmap"
+	"repro/internal/gamma"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// OptimalOptions configures the Theorem 2 structure.
+type OptimalOptions struct {
+	// Branching is the weight-balanced tree's branching parameter c
+	// (constant > 4). Zero selects DefaultBranching.
+	Branching int
+	// Stride controls which tree depths are materialised. Stride 2 is the
+	// paper's choice (depths 1, 2, 4, 8, …, leaf level), giving O(lg lg n)
+	// materialised levels and the Theorem 2 bounds. Stride 1 materialises
+	// every level (the §2.2 "naive upper bound", O(n lg² n) bits). Larger
+	// strides are ablations. Zero selects 2.
+	Stride int
+	// NoComplement disables the z > n/2 complement trick (ablation).
+	NoComplement bool
+}
+
+func (o *OptimalOptions) fill() {
+	if o.Branching == 0 {
+		o.Branching = DefaultBranching
+	}
+	if o.Stride == 0 {
+		o.Stride = 2
+	}
+}
+
+// member is one bitmap of a materialised level: a tree node's position set,
+// identified by its record range, stored at the level's concatenated extent.
+type member struct {
+	start, end int64
+	ext        iomodel.Extent
+	card       int64
+}
+
+// matLevel is one materialised level: the bitmaps of all nodes at the
+// level's depth plus the pruned leaves strictly between the previous
+// materialised depth and this one, concatenated in left-to-right (record)
+// order so that a cover subtree's frontier is one contiguous chunk.
+type matLevel struct {
+	depth   int
+	members []member
+}
+
+// chunk returns the index range [i,j) of members tiling records [lo,hi).
+func (lv *matLevel) chunk(lo, hi int64) (int, int, error) {
+	i := sort.Search(len(lv.members), func(k int) bool { return lv.members[k].start >= lo })
+	j := i
+	for j < len(lv.members) && lv.members[j].end <= hi {
+		j++
+	}
+	if i == j {
+		return 0, 0, fmt.Errorf("core: no members tile records [%d,%d) at depth %d", lo, hi, lv.depth)
+	}
+	if lv.members[i].start != lo || lv.members[j-1].end != hi {
+		return 0, 0, fmt.Errorf("core: members do not tile records [%d,%d) at depth %d", lo, hi, lv.depth)
+	}
+	return i, j, nil
+}
+
+// Optimal is the paper's Theorem 2 structure: the pruned weight-balanced
+// tree with materialised levels 1, 2, 4, 8, … and the leaf level, the
+// prefix-count array A, and the blocked tree layout. Space is
+// O(nH₀ + n + σ lg²n) bits; a query reads O(z lg(n/z)/B + lg_b n + lg lg n)
+// blocks.
+type Optimal struct {
+	disk   *iomodel.Disk
+	tree   *Tree
+	layout *treeLayout
+	opts   OptimalOptions
+
+	levels []matLevel
+	aExt   iomodel.Extent // prefix array A: (σ+1) 64-bit entries
+	// dirBits accounts for the per-member directory (offset, length,
+	// cardinality), charged at O(lg n) bits each as the paper does for its
+	// node pointers.
+	dirBits int64
+}
+
+// BuildOptimal constructs the Theorem 2 index for col on disk d.
+func BuildOptimal(d *iomodel.Disk, col workload.Column, opts OptimalOptions) (*Optimal, error) {
+	opts.fill()
+	tr, err := BuildTree(col, opts.Branching)
+	if err != nil {
+		return nil, err
+	}
+	ox := &Optimal{disk: d, tree: tr, opts: opts}
+
+	depths := materialDepths(tr.Height, opts.Stride)
+	// Assign each node to a level: internal nodes at materialised depths,
+	// leaves to the first materialised depth at or below them.
+	levelOf := func(v *Node) int {
+		i := sort.SearchInts(depths, v.Depth)
+		if v.IsLeaf() {
+			return i // smallest materialised depth >= v.Depth
+		}
+		if i < len(depths) && depths[i] == v.Depth {
+			return i
+		}
+		return -1
+	}
+	byLevel := make([][]*Node, len(depths))
+	for _, v := range tr.Nodes { // preorder = record order for non-nested members
+		if li := levelOf(v); li >= 0 {
+			byLevel[li] = append(byLevel[li], v)
+		}
+	}
+	for li, depth := range depths {
+		lv := matLevel{depth: depth}
+		for _, v := range byLevel[li] {
+			pos := tr.Positions(v.Start, v.End)
+			bm, err := cbitmap.FromPositions(tr.n, pos)
+			if err != nil {
+				return nil, err
+			}
+			w := bitio.NewWriter(bm.SizeBits())
+			bm.EncodeTo(w)
+			lv.members = append(lv.members, member{
+				start: v.Start, end: v.End,
+				ext:  d.AllocStream(w),
+				card: bm.Card(),
+			})
+		}
+		ox.levels = append(ox.levels, lv)
+		// Directory entry per member: offset, length, cardinality — O(lg n)
+		// bits each, 128 bits nominal.
+		ox.dirBits += int64(len(lv.members)) * 128
+	}
+
+	// Prefix array A on disk: queries read two entries to compute z.
+	aw := bitio.NewWriter((tr.sigma + 1) * 64)
+	for _, p := range tr.prefix {
+		aw.WriteBits(uint64(p), 64)
+	}
+	ox.aExt = d.AllocStream(aw)
+
+	ox.layout = newTreeLayout(d, tr)
+	d.ResetStats()
+	return ox, nil
+}
+
+// materialDepths returns the sorted materialised depths: 1, s, s², … (or
+// every depth for stride 1), always including the leaf level height.
+func materialDepths(height, stride int) []int {
+	set := map[int]struct{}{height: {}}
+	if stride <= 1 {
+		for d := 1; d <= height; d++ {
+			set[d] = struct{}{}
+		}
+	} else {
+		for d := 1; d < height; d *= stride {
+			set[d] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Name implements index.Index.
+func (ox *Optimal) Name() string { return "pr-optimal" }
+
+// Len implements index.Index.
+func (ox *Optimal) Len() int64 { return ox.tree.n }
+
+// Sigma implements index.Index.
+func (ox *Optimal) Sigma() int { return ox.tree.sigma }
+
+// Tree exposes the underlying weight-balanced tree (tests, experiments).
+func (ox *Optimal) Tree() *Tree { return ox.tree }
+
+// MaterialisedLevels returns the number of materialised levels (the paper's
+// O(lg lg n)).
+func (ox *Optimal) MaterialisedLevels() int { return len(ox.levels) }
+
+// SizeBits implements index.Index: bitmap payloads + directory + prefix
+// array + blocked tree structure.
+func (ox *Optimal) SizeBits() int64 {
+	var bits int64
+	for _, lv := range ox.levels {
+		for _, m := range lv.members {
+			bits += m.ext.Bits
+		}
+	}
+	return bits + ox.dirBits + ox.aExt.Bits + ox.layout.sizeBits()
+}
+
+// BitmapBits returns only the bitmap payload bits (the O(nH₀) term),
+// excluding the σ·polylog structure overhead — used by the entropy
+// experiment E3.
+func (ox *Optimal) BitmapBits() int64 {
+	var bits int64
+	for _, lv := range ox.levels {
+		for _, m := range lv.members {
+			bits += m.ext.Bits
+		}
+	}
+	return bits
+}
+
+// levelFor returns the materialised level index for a cover node at depth d.
+func (ox *Optimal) levelFor(d int) int {
+	i := sort.Search(len(ox.levels), func(k int) bool { return ox.levels[k].depth >= d })
+	if i == len(ox.levels) {
+		i = len(ox.levels) - 1
+	}
+	return i
+}
+
+// readCoverChunk reads, in one contiguous scan, the frontier bitmaps of the
+// cover subtree v and appends them to ms.
+func (ox *Optimal) readCoverChunk(tc *iomodel.Touch, v *Node, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
+	lv := &ox.levels[ox.levelFor(v.Depth)]
+	i, j, err := lv.chunk(v.Start, v.End)
+	if err != nil {
+		return ms, err
+	}
+	span := iomodel.Extent{
+		Off:  lv.members[i].ext.Off,
+		Bits: lv.members[j-1].ext.End() - lv.members[i].ext.Off,
+	}
+	rd, err := tc.Reader(span)
+	if err != nil {
+		return ms, err
+	}
+	stats.BitsRead += span.Bits
+	for k := i; k < j; k++ {
+		bm, err := cbitmap.Decode(rd, lv.members[k].card, ox.tree.n)
+		if err != nil {
+			return ms, fmt.Errorf("core: depth %d member %d: %w", lv.depth, k, err)
+		}
+		ms = append(ms, bm)
+	}
+	return ms, nil
+}
+
+// queryRecords answers a record-range query: union of the cover frontiers.
+func (ox *Optimal) queryRecords(tc *iomodel.Touch, qlo, qhi int64, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
+	if qlo >= qhi {
+		return ms, nil
+	}
+	cover := ox.tree.Cover(qlo, qhi, func(v *Node) { ox.layout.charge(tc, v) })
+	for _, v := range cover {
+		ox.layout.charge(tc, v)
+		var err error
+		ms, err = ox.readCoverChunk(tc, v, ms, stats)
+		if err != nil {
+			return ms, err
+		}
+	}
+	return ms, nil
+}
+
+// Query implements index.Index. It computes z from the on-disk prefix array,
+// applies the complement trick for dense answers, decomposes the record
+// range into its canonical cover and merges the frontier bitmaps.
+func (ox *Optimal) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	var stats index.QueryStats
+	if err := r.Valid(ox.tree.sigma); err != nil {
+		return nil, stats, err
+	}
+	tc := ox.disk.NewTouch()
+	// Read A[lo] and A[hi+1] to compute z (O(1) I/Os).
+	aLo, err := tc.ReadBits(ox.aExt.Off+int64(r.Lo)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	aHi, err := tc.ReadBits(ox.aExt.Off+int64(r.Hi+1)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	qlo, qhi := int64(aLo), int64(aHi)
+	z := qhi - qlo
+	n := ox.tree.n
+
+	var ms []*cbitmap.Bitmap
+	complement := z > n/2 && !ox.opts.NoComplement
+	if complement {
+		// Answer the two complementary queries and return the complement of
+		// their union (§2.1).
+		ms, err = ox.queryRecords(tc, 0, qlo, ms, &stats)
+		if err == nil {
+			ms, err = ox.queryRecords(tc, qhi, n, ms, &stats)
+		}
+	} else {
+		ms, err = ox.queryRecords(tc, qlo, qhi, ms, &stats)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := cbitmap.Union(ms...)
+	if err != nil {
+		return nil, stats, err
+	}
+	if out.Universe() < n {
+		out = cbitmap.Empty(n) // all-empty union defaults to zero universe
+	}
+	if complement {
+		out = out.Complement()
+	}
+	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+	return out, stats, nil
+}
+
+var _ index.Index = (*Optimal)(nil)
+
+// BuildOptimalDefault is a convenience wrapper with default options.
+func BuildOptimalDefault(d *iomodel.Disk, col workload.Column) (*Optimal, error) {
+	return BuildOptimal(d, col, OptimalOptions{})
+}
+
+// PayloadUnderCodes recomputes the total member-bitmap payload under gamma
+// and delta coding of the gap streams (the A5 ablation: the paper permits
+// "any method that compresses to within a constant factor").
+func (ox *Optimal) PayloadUnderCodes() (gammaBits, deltaBits int64) {
+	for _, lv := range ox.levels {
+		for _, m := range lv.members {
+			pos := ox.tree.Positions(m.start, m.end)
+			prev := int64(-1)
+			for _, p := range pos {
+				gap := uint64(p - prev)
+				gammaBits += int64(gamma.Len(gap))
+				deltaBits += int64(gamma.DeltaLen(gap))
+				prev = p
+			}
+		}
+	}
+	return gammaBits, deltaBits
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitio"
+	"repro/internal/cbitmap"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// Warmup is the paper's §2.1 stepping-stone structure (Theorem 1): a
+// complete binary tree U over the alphabet (padded to a power of two), with
+// the compressed bitmap I[al;ar] of every node stored at every level,
+// concatenated per level in left-to-right order. Space is O(n lg²σ) bits;
+// a range query merges the O(lg σ) canonical subtrees in
+// O(T/B + lg σ) I/Os.
+type Warmup struct {
+	disk   *iomodel.Disk
+	n      int64
+	sigma  int
+	padded int // σ rounded up to a power of two
+	// levels[j] holds the 2^j nodes of level j (root is level 0, following
+	// Go indexing; the paper's level 1).
+	levels []warmLevel
+	aExt   iomodel.Extent
+	opts   WarmupOptions
+}
+
+type warmLevel struct {
+	width int64 // characters per node at this level
+	exts  []iomodel.Extent
+	cards []int64
+}
+
+// WarmupOptions configures the Theorem 1 structure.
+type WarmupOptions struct {
+	// NoComplement disables the z > n/2 complement trick.
+	NoComplement bool
+}
+
+// BuildWarmup constructs the Theorem 1 index for col on disk d.
+func BuildWarmup(d *iomodel.Disk, col workload.Column, opts WarmupOptions) (*Warmup, error) {
+	n := int64(col.Len())
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty column")
+	}
+	if col.Sigma < 1 {
+		return nil, fmt.Errorf("core: alphabet size %d", col.Sigma)
+	}
+	padded := 1
+	for padded < col.Sigma {
+		padded *= 2
+	}
+	wx := &Warmup{disk: d, n: n, sigma: col.Sigma, padded: padded, opts: opts}
+
+	byChar := make([][]int64, padded)
+	for i, c := range col.X {
+		if int(c) >= col.Sigma {
+			return nil, fmt.Errorf("core: character %d outside alphabet [0,%d)", c, col.Sigma)
+		}
+		byChar[c] = append(byChar[c], int64(i))
+	}
+	prefix := make([]int64, col.Sigma+1)
+	for a := 0; a < col.Sigma; a++ {
+		prefix[a+1] = prefix[a] + int64(len(byChar[a]))
+	}
+
+	nlevels := bits.Len(uint(padded - 1)) // levels 0..nlevels, width 2^(nlevels-j)
+	for j := 0; j <= nlevels; j++ {
+		width := int64(padded >> uint(j))
+		lv := warmLevel{width: width}
+		nnodes := int64(padded) / width
+		for node := int64(0); node < nnodes; node++ {
+			lo, hi := node*width, (node+1)*width
+			var pos []int64
+			for a := lo; a < hi && a < int64(col.Sigma); a++ {
+				pos = append(pos, byChar[a]...)
+			}
+			bm, err := cbitmap.FromUnsorted(n, pos)
+			if err != nil {
+				return nil, err
+			}
+			w := bitio.NewWriter(bm.SizeBits())
+			bm.EncodeTo(w)
+			lv.exts = append(lv.exts, d.AllocStream(w))
+			lv.cards = append(lv.cards, bm.Card())
+		}
+		wx.levels = append(wx.levels, lv)
+	}
+
+	aw := bitio.NewWriter((col.Sigma + 1) * 64)
+	for _, p := range prefix {
+		aw.WriteBits(uint64(p), 64)
+	}
+	wx.aExt = d.AllocStream(aw)
+	d.ResetStats()
+	return wx, nil
+}
+
+// Name implements index.Index.
+func (wx *Warmup) Name() string { return "pr-warmup" }
+
+// Len implements index.Index.
+func (wx *Warmup) Len() int64 { return wx.n }
+
+// Sigma implements index.Index.
+func (wx *Warmup) Sigma() int { return wx.sigma }
+
+// SizeBits implements index.Index.
+func (wx *Warmup) SizeBits() int64 {
+	var bitsTotal int64
+	for _, lv := range wx.levels {
+		bitsTotal += int64(len(lv.exts)) * 3 * 64 // directory
+		for _, e := range lv.exts {
+			bitsTotal += e.Bits
+		}
+	}
+	return bitsTotal + wx.aExt.Bits
+}
+
+// coverNode is one subtree of the canonical binary cover.
+type coverNode struct {
+	level int
+	node  int64
+}
+
+// cover decomposes the character range [lo,hi] into the maximal subtrees of
+// the complete binary tree whose leaves lie within it — at most two per
+// level (§2.1).
+func (wx *Warmup) cover(lo, hi int64) []coverNode {
+	var out []coverNode
+	width := int64(1)
+	level := len(wx.levels) - 1 // leaf level
+	for lo <= hi {
+		if lo%(2*width) != 0 { // lo's node is a right child: take it alone
+			out = append(out, coverNode{level: level, node: lo / width})
+			lo += width
+		}
+		if (hi+1)%(2*width) != 0 && lo <= hi { // hi's node is a left child
+			out = append(out, coverNode{level: level, node: hi / width})
+			hi -= width
+		}
+		width *= 2
+		level--
+	}
+	return out
+}
+
+// queryChars unions the cover of character range [lo,hi] (inclusive,
+// already validated and non-empty).
+func (wx *Warmup) queryChars(tc *iomodel.Touch, lo, hi int64, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
+	for _, cn := range wx.cover(lo, hi) {
+		lv := wx.levels[cn.level]
+		ext := lv.exts[cn.node]
+		rd, err := tc.Reader(ext)
+		if err != nil {
+			return ms, err
+		}
+		stats.BitsRead += ext.Bits
+		bm, err := cbitmap.Decode(rd, lv.cards[cn.node], wx.n)
+		if err != nil {
+			return ms, fmt.Errorf("core: warmup level %d node %d: %w", cn.level, cn.node, err)
+		}
+		ms = append(ms, bm)
+	}
+	return ms, nil
+}
+
+// Query implements index.Index.
+func (wx *Warmup) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	var stats index.QueryStats
+	if err := r.Valid(wx.sigma); err != nil {
+		return nil, stats, err
+	}
+	tc := wx.disk.NewTouch()
+	aLo, err := tc.ReadBits(wx.aExt.Off+int64(r.Lo)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	aHi, err := tc.ReadBits(wx.aExt.Off+int64(r.Hi+1)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	z := int64(aHi) - int64(aLo)
+
+	var ms []*cbitmap.Bitmap
+	complement := z > wx.n/2 && !wx.opts.NoComplement
+	if complement {
+		if r.Lo > 0 {
+			ms, err = wx.queryChars(tc, 0, int64(r.Lo)-1, ms, &stats)
+		}
+		if err == nil && int(r.Hi) < wx.sigma-1 {
+			ms, err = wx.queryChars(tc, int64(r.Hi)+1, int64(wx.padded)-1, ms, &stats)
+		}
+	} else {
+		ms, err = wx.queryChars(tc, int64(r.Lo), int64(r.Hi), ms, &stats)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := cbitmap.Union(ms...)
+	if err != nil {
+		return nil, stats, err
+	}
+	if out.Universe() < wx.n {
+		out = cbitmap.Empty(wx.n)
+	}
+	if complement {
+		out = out.Complement()
+	}
+	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+	return out, stats, nil
+}
+
+var _ index.Index = (*Warmup)(nil)

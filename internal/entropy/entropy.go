@@ -1,0 +1,65 @@
+// Package entropy computes the information-theoretic quantities the paper's
+// space bounds are expressed in: the empirical 0th-order entropy H₀(x) of a
+// string, and the information bound lg C(n,m) for a set of m positions in a
+// universe of n, which is the minimum size of a query answer "had it been
+// precomputed".
+package entropy
+
+import "math"
+
+// Hist counts character occurrences in a string over alphabet [0,σ).
+func Hist(x []uint32, sigma int) []int64 {
+	h := make([]int64, sigma)
+	for _, c := range x {
+		h[c]++
+	}
+	return h
+}
+
+// H0 returns the empirical 0th-order entropy in bits per character:
+// H₀ = Σ_a (z_a/n) lg(n/z_a). Zero-count characters contribute nothing.
+func H0(hist []int64) float64 {
+	var n int64
+	for _, z := range hist {
+		n += z
+	}
+	if n == 0 {
+		return 0
+	}
+	var h float64
+	for _, z := range hist {
+		if z > 0 {
+			p := float64(z) / float64(n)
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// H0String is H0 over a raw string.
+func H0String(x []uint32, sigma int) float64 { return H0(Hist(x, sigma)) }
+
+// LgBinomial returns lg C(n, m) in bits, computed via the log-gamma function
+// so it is stable for large n. For m == 0 or m == n it is 0.
+func LgBinomial(n, m int64) float64 {
+	if m < 0 || m > n {
+		return 0
+	}
+	ln := lgamma(float64(n)+1) - lgamma(float64(m)+1) - lgamma(float64(n-m)+1)
+	return ln / math.Ln2
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// AnswerBound returns the paper's output-size bound for an answer of
+// cardinality z over a string of length n: O(lg C(n,z)) bits. For z > n/2
+// the complement bound applies (the structure returns the complement).
+func AnswerBound(n, z int64) float64 {
+	if z > n/2 {
+		z = n - z
+	}
+	return LgBinomial(n, z)
+}

@@ -1,0 +1,80 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestH0Uniform(t *testing.T) {
+	// Uniform over sigma characters: H0 = lg sigma.
+	for _, sigma := range []int{2, 4, 8, 256} {
+		x := make([]uint32, sigma*10)
+		for i := range x {
+			x[i] = uint32(i % sigma)
+		}
+		h := H0String(x, sigma)
+		if !almostEq(h, math.Log2(float64(sigma)), 1e-9) {
+			t.Fatalf("sigma=%d: H0 = %v, want %v", sigma, h, math.Log2(float64(sigma)))
+		}
+	}
+}
+
+func TestH0Degenerate(t *testing.T) {
+	x := make([]uint32, 100) // all zeros
+	if h := H0String(x, 5); h != 0 {
+		t.Fatalf("constant string H0 = %v", h)
+	}
+	if h := H0(nil); h != 0 {
+		t.Fatalf("empty hist H0 = %v", h)
+	}
+}
+
+func TestH0Biased(t *testing.T) {
+	// p = 1/4, 3/4: H = 0.25*2 + 0.75*lg(4/3) ≈ 0.8113.
+	hist := []int64{25, 75}
+	if h := H0(hist); !almostEq(h, 0.811278, 1e-5) {
+		t.Fatalf("H0 = %v", h)
+	}
+}
+
+func TestLgBinomial(t *testing.T) {
+	// C(10,3) = 120, lg 120 ≈ 6.9069.
+	if v := LgBinomial(10, 3); !almostEq(v, math.Log2(120), 1e-9) {
+		t.Fatalf("LgBinomial(10,3) = %v", v)
+	}
+	if v := LgBinomial(10, 0); v != 0 {
+		t.Fatalf("LgBinomial(10,0) = %v", v)
+	}
+	if v := LgBinomial(10, 10); !almostEq(v, 0, 1e-9) {
+		t.Fatalf("LgBinomial(10,10) = %v", v)
+	}
+	if v := LgBinomial(10, 11); v != 0 {
+		t.Fatalf("out of range = %v", v)
+	}
+	// Symmetry.
+	if !almostEq(LgBinomial(100, 30), LgBinomial(100, 70), 1e-6) {
+		t.Fatal("binomial not symmetric")
+	}
+}
+
+func TestAnswerBoundComplement(t *testing.T) {
+	// For z > n/2 the bound is that of the complement.
+	if !almostEq(AnswerBound(100, 90), LgBinomial(100, 10), 1e-9) {
+		t.Fatal("complement bound not applied")
+	}
+	if !almostEq(AnswerBound(100, 10), LgBinomial(100, 10), 1e-9) {
+		t.Fatal("sparse bound wrong")
+	}
+}
+
+func TestHist(t *testing.T) {
+	h := Hist([]uint32{0, 1, 1, 2, 2, 2}, 4)
+	want := []int64{1, 2, 3, 0}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("hist = %v", h)
+		}
+	}
+}

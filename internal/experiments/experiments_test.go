@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun smoke-runs every experiment at Quick scale and
+// checks each produces a well-formed, non-empty table. This doubles as the
+// cross-module integration test: every index, every workload generator and
+// the I/O model are exercised together.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table id %q, want %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(tbl.Header))
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Fprint(&buf)
+			if !strings.Contains(buf.String(), tbl.Title) {
+				t.Fatal("printed table missing title")
+			}
+		})
+	}
+}
+
+// TestE2Separation asserts the §1.2 separation quantitatively: the flat
+// bitmap index's overhead ratio must grow with ℓ while pr-optimal's stays
+// within a constant band.
+func TestE2Separation(t *testing.T) {
+	tbl, err := E2QueryVsRange(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	gammaFirst, gammaLast := parse(first[3]), parse(last[3])
+	optFirst, optLast := parse(first[8]), parse(last[8])
+	if gammaLast < 2*gammaFirst {
+		t.Fatalf("bitmap overhead did not grow: %.2f -> %.2f", gammaFirst, gammaLast)
+	}
+	if optLast > 3*optFirst {
+		t.Fatalf("pr-optimal overhead not flat: %.2f -> %.2f", optFirst, optLast)
+	}
+	if optLast > 8 {
+		t.Fatalf("pr-optimal overhead ratio %.2f not a small constant", optLast)
+	}
+}
+
+// TestE3EntropyAdaptivity asserts the Theorem 2 space bound's shape: the
+// payload per character divided by (H0+1) stays in a narrow band across a
+// large entropy range.
+func TestE3EntropyAdaptivity(t *testing.T) {
+	tbl, err := E3EntropySweep(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratios []float64
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, v)
+	}
+	min, max := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if max > 2.5*min {
+		t.Fatalf("payload/(H0+1) band too wide: [%.2f, %.2f]", min, max)
+	}
+	if max > 8 {
+		t.Fatalf("payload/(H0+1) = %.2f: constant factor too large", max)
+	}
+}
+
+// TestE10Bounded asserts the output-optimality ratio is bounded across the
+// z sweep, including the complemented dense end.
+func TestE10Bounded(t *testing.T) {
+	tbl, err := E10OutputOptimality(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 16 {
+			t.Fatalf("ell=%s: ratio %.1f unbounded", row[0], v)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package gamma
+
+import (
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// FuzzGammaRoundTrip: any nonzero value survives encode/decode, for both
+// gamma and delta codes, in arbitrary mixed streams.
+func FuzzGammaRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(1<<40))
+	f.Add(uint64(7), uint64(1), uint64(1))
+	f.Add(^uint64(0), uint64(3), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, a, b, c uint64) {
+		vals := []uint64{a | 1, b | 1, c | 1} // ensure nonzero
+		w := bitio.NewWriter(0)
+		for i, v := range vals {
+			if i%2 == 0 {
+				Write(w, v)
+			} else {
+				WriteDelta(w, v)
+			}
+		}
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		for i, want := range vals {
+			var got uint64
+			var err error
+			if i%2 == 0 {
+				got, err = Read(r)
+			} else {
+				got, err = ReadDelta(r)
+			}
+			if err != nil {
+				t.Fatalf("value %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("value %d: got %d want %d", i, got, want)
+			}
+		}
+	})
+}
+
+// FuzzGammaDecodeArbitrary: decoding arbitrary bytes must never panic; it
+// either yields values or errors.
+func FuzzGammaDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{0xff, 0x00, 0xab})
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bitio.NewReader(data, -1)
+		for i := 0; i < 64; i++ {
+			if _, err := Read(r); err != nil {
+				break
+			}
+		}
+		r2 := bitio.NewReader(data, -1)
+		for i := 0; i < 64; i++ {
+			if _, err := ReadDelta(r2); err != nil {
+				break
+			}
+		}
+	})
+}

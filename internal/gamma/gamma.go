@@ -1,0 +1,88 @@
+// Package gamma implements Elias gamma and delta codes [Elias, IEEE ToIT
+// 1975], the reference run-length encodings used throughout the paper:
+// a run of x zeros is encoded with a gamma code using 2⌊lg(x+1)⌋+2 bits,
+// which compresses a bitmap of cardinality m to within a constant factor of
+// the information bound lg C(n,m) = m lg(n/m) + Θ(m).
+//
+// Codes operate on values v >= 1. Callers encoding gaps that may be zero
+// shift by one (encode gap+1).
+package gamma
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitio"
+)
+
+// Len returns the length in bits of the gamma code of v (v >= 1).
+func Len(v uint64) int {
+	if v == 0 {
+		panic("gamma: Len of 0")
+	}
+	return 2*(bits.Len64(v)-1) + 1
+}
+
+// Write appends the gamma code of v (v >= 1) to w.
+func Write(w *bitio.Writer, v uint64) {
+	if v == 0 {
+		panic("gamma: Write of 0")
+	}
+	n := bits.Len64(v) // number of significant bits
+	w.WriteUnary(n - 1)
+	// The leading 1 of v is implied by the unary prefix; write remaining n-1 bits.
+	w.WriteBits(v, n-1)
+}
+
+// Read decodes one gamma code from r.
+func Read(r *bitio.Reader) (uint64, error) {
+	n, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if n >= 64 {
+		return 0, fmt.Errorf("gamma: code length %d too large", n+1)
+	}
+	rest, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(n) | rest, nil
+}
+
+// DeltaLen returns the length in bits of the delta code of v (v >= 1).
+func DeltaLen(v uint64) int {
+	if v == 0 {
+		panic("gamma: DeltaLen of 0")
+	}
+	n := bits.Len64(v)
+	return Len(uint64(n)) + n - 1
+}
+
+// WriteDelta appends the Elias delta code of v (v >= 1): the gamma code of
+// the bit length of v followed by the bits of v below its leading 1.
+func WriteDelta(w *bitio.Writer, v uint64) {
+	if v == 0 {
+		panic("gamma: WriteDelta of 0")
+	}
+	n := bits.Len64(v)
+	Write(w, uint64(n))
+	w.WriteBits(v, n-1)
+}
+
+// ReadDelta decodes one delta code from r.
+func ReadDelta(r *bitio.Reader) (uint64, error) {
+	n64, err := Read(r)
+	if err != nil {
+		return 0, err
+	}
+	if n64 == 0 || n64 > 64 {
+		return 0, fmt.Errorf("gamma: delta length field %d invalid", n64)
+	}
+	n := int(n64)
+	rest, err := r.ReadBits(n - 1)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(n-1) | rest, nil
+}

@@ -1,0 +1,175 @@
+package gamma
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+func TestKnownCodes(t *testing.T) {
+	// Gamma codes: 1 -> "1", 2 -> "010", 3 -> "011", 4 -> "00100".
+	cases := []struct {
+		v    uint64
+		bits string
+	}{
+		{1, "1"},
+		{2, "010"},
+		{3, "011"},
+		{4, "00100"},
+		{5, "00101"},
+		{8, "0001000"},
+	}
+	for _, c := range cases {
+		w := bitio.NewWriter(0)
+		Write(w, c.v)
+		if got := bitString(w); got != c.bits {
+			t.Errorf("gamma(%d) = %s, want %s", c.v, got, c.bits)
+		}
+		if Len(c.v) != len(c.bits) {
+			t.Errorf("Len(%d) = %d, want %d", c.v, Len(c.v), len(c.bits))
+		}
+	}
+}
+
+func bitString(w *bitio.Writer) string {
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	s := make([]byte, 0, w.Len())
+	for r.Remaining() > 0 {
+		b, _ := r.ReadBit()
+		s = append(s, '0'+byte(b))
+	}
+	return string(s)
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := []uint64{1, 2, 3, 4, 5, 100, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, rng.Uint64()%(1<<uint(rng.Intn(60)+1))+1)
+	}
+	w := bitio.NewWriter(0)
+	total := 0
+	for _, v := range vals {
+		Write(w, v)
+		total += Len(v)
+	}
+	if w.Len() != total {
+		t.Fatalf("stream length %d, sum of Len %d", w.Len(), total)
+	}
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	for i, want := range vals {
+		got, err := Read(r)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("value %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vals := []uint64{1, 2, 3, 16, 17, 1 << 40, ^uint64(0)}
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, rng.Uint64()%(1<<uint(rng.Intn(63)+1))+1)
+	}
+	w := bitio.NewWriter(0)
+	total := 0
+	for _, v := range vals {
+		WriteDelta(w, v)
+		total += DeltaLen(v)
+	}
+	if w.Len() != total {
+		t.Fatalf("stream length %d, sum of DeltaLen %d", w.Len(), total)
+	}
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	for i, want := range vals {
+		got, err := ReadDelta(r)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("value %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestQuickGamma(t *testing.T) {
+	f := func(raw []uint64) bool {
+		w := bitio.NewWriter(0)
+		vals := make([]uint64, len(raw))
+		for i, v := range raw {
+			if v == 0 {
+				v = 1
+			}
+			vals[i] = v
+			Write(w, v)
+		}
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		for _, want := range vals {
+			got, err := Read(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDelta(t *testing.T) {
+	f := func(raw []uint64) bool {
+		w := bitio.NewWriter(0)
+		vals := make([]uint64, len(raw))
+		for i, v := range raw {
+			if v == 0 {
+				v = 1
+			}
+			vals[i] = v
+			WriteDelta(w, v)
+		}
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		for _, want := range vals {
+			got, err := ReadDelta(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLenGrowth(t *testing.T) {
+	// 2⌊lg v⌋ + 1 bits: doubling v adds exactly 2 bits.
+	for v := uint64(1); v < 1<<30; v *= 2 {
+		if Len(2*v) != Len(v)+2 {
+			t.Fatalf("Len(%d)=%d Len(%d)=%d", v, Len(v), 2*v, Len(2*v))
+		}
+	}
+}
+
+func TestZeroPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Write":      func() { Write(bitio.NewWriter(0), 0) },
+		"WriteDelta": func() { WriteDelta(bitio.NewWriter(0), 0) },
+		"Len":        func() { Len(0) },
+		"DeltaLen":   func() { DeltaLen(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(0) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

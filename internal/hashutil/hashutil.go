@@ -1,0 +1,110 @@
+// Package hashutil provides the universal hash families used by the paper's
+// approximate secondary index (§3): a multiply–add–shift universal family,
+// and the paper's split-XOR construction h_j(i₁,i₂) = g_j(i₁) ⊕ i₂ whose
+// preimages are computable without I/O — the property §3 relies on to
+// intersect approximate results and to filter false positives lazily.
+package hashutil
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MultiplyShift is a multiply–add–shift hash mapping 64-bit keys to outBits
+// bits: h(x) = (a·x + b) >> (64 − outBits) with a odd. The family is
+// 2-universal up to a constant factor, which is all §3's analysis needs.
+type MultiplyShift struct {
+	A, B    uint64
+	OutBits int
+}
+
+// NewMultiplyShift draws a function with the given output width from rng.
+func NewMultiplyShift(rng *rand.Rand, outBits int) MultiplyShift {
+	if outBits < 0 || outBits > 63 {
+		panic(fmt.Sprintf("hashutil: outBits %d out of range", outBits))
+	}
+	return MultiplyShift{A: rng.Uint64() | 1, B: rng.Uint64(), OutBits: outBits}
+}
+
+// Hash maps x to [0, 2^OutBits).
+func (h MultiplyShift) Hash(x uint64) uint64 {
+	if h.OutBits == 0 {
+		return 0
+	}
+	return (h.A*x + h.B) >> uint(64-h.OutBits)
+}
+
+// SplitXOR is the paper's §3 family. A key i ∈ [0,n) is split as
+// (i₁, i₂) where i₂ is the low LowBits bits; the hash value is
+// g(i₁) ⊕ i₂, mapping to [0, 2^LowBits). Universality of g implies
+// universality of the composite, and the preimage of any hash value s is
+// the explicitly enumerable set {(i₁, s ⊕ g(i₁)) | i₁ = 0, 1, 2, …}.
+type SplitXOR struct {
+	G       MultiplyShift // maps i₁ to LowBits bits
+	LowBits int
+}
+
+// NewSplitXOR draws a split-XOR function with the given output width.
+func NewSplitXOR(rng *rand.Rand, lowBits int) SplitXOR {
+	if lowBits < 1 || lowBits > 62 {
+		panic(fmt.Sprintf("hashutil: lowBits %d out of range", lowBits))
+	}
+	return SplitXOR{G: NewMultiplyShift(rng, lowBits), LowBits: lowBits}
+}
+
+// Range returns the size of the hash codomain, 2^LowBits.
+func (h SplitXOR) Range() int64 { return 1 << uint(h.LowBits) }
+
+// Hash maps i to [0, Range()).
+func (h SplitXOR) Hash(i uint64) uint64 {
+	i1 := i >> uint(h.LowBits)
+	i2 := i & (1<<uint(h.LowBits) - 1)
+	return h.G.Hash(i1) ^ i2
+}
+
+// PreimageIter enumerates, in increasing order, the keys i ∈ [0,n) with
+// Hash(i) = s. There is exactly one such key per i₁ block.
+type PreimageIter struct {
+	h  SplitXOR
+	s  uint64
+	n  uint64
+	i1 uint64
+}
+
+// Preimage returns an iterator over h⁻¹(s) ∩ [0,n).
+func (h SplitXOR) Preimage(s uint64, n int64) *PreimageIter {
+	return &PreimageIter{h: h, s: s, n: uint64(n)}
+}
+
+// Next returns the next preimage key, or ok=false when exhausted.
+func (it *PreimageIter) Next() (uint64, bool) {
+	for {
+		base := it.i1 << uint(it.h.LowBits)
+		if base >= it.n {
+			return 0, false
+		}
+		i2 := it.s ^ it.h.G.Hash(it.i1)
+		it.i1++
+		i := base | i2
+		if i < it.n {
+			return i, true
+		}
+		// The unique candidate in this block falls outside [0,n); skip.
+	}
+}
+
+// PreimageCount returns |h⁻¹(s) ∩ [0,n)| without enumerating: one candidate
+// per complete i₁ block, plus possibly one in the final partial block.
+func (h SplitXOR) PreimageCount(s uint64, n int64) int64 {
+	blocks := uint64(n) >> uint(h.LowBits)
+	cnt := int64(blocks)
+	// Final partial block.
+	base := blocks << uint(h.LowBits)
+	if base < uint64(n) {
+		i2 := s ^ h.G.Hash(blocks)
+		if base|i2 < uint64(n) {
+			cnt++
+		}
+	}
+	return cnt
+}

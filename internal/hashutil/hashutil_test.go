@@ -1,0 +1,142 @@
+package hashutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMultiplyShiftRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bits := range []int{1, 4, 16, 32} {
+		h := NewMultiplyShift(rng, bits)
+		for i := 0; i < 1000; i++ {
+			v := h.Hash(rng.Uint64())
+			if v >= 1<<uint(bits) {
+				t.Fatalf("bits=%d: hash %d out of range", bits, v)
+			}
+		}
+	}
+	h := NewMultiplyShift(rng, 0)
+	if h.Hash(12345) != 0 {
+		t.Fatal("0-bit hash must be 0")
+	}
+}
+
+func TestMultiplyShiftCollisionRate(t *testing.T) {
+	// Empirical universality: collision rate of random pairs should be
+	// close to 2^-outBits (we allow 4x slack).
+	rng := rand.New(rand.NewSource(2))
+	const bits = 12
+	trials := 200000
+	collisions := 0
+	for i := 0; i < 20; i++ {
+		h := NewMultiplyShift(rng, bits)
+		for j := 0; j < trials/20; j++ {
+			x, y := rng.Uint64(), rng.Uint64()
+			if x != y && h.Hash(x) == h.Hash(y) {
+				collisions++
+			}
+		}
+	}
+	rate := float64(collisions) / float64(trials)
+	if rate > 4.0/(1<<bits) {
+		t.Fatalf("collision rate %v too high", rate)
+	}
+}
+
+func TestSplitXORHashRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewSplitXOR(rng, 8)
+	if h.Range() != 256 {
+		t.Fatalf("range = %d", h.Range())
+	}
+	for i := uint64(0); i < 10000; i++ {
+		if h.Hash(i) >= 256 {
+			t.Fatalf("hash(%d) out of range", i)
+		}
+	}
+}
+
+func TestSplitXORPreimageExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := NewSplitXOR(rng, 6)
+	n := int64(5000) // not a multiple of 64: exercises the partial block
+	// Build the ground-truth preimages by direct evaluation.
+	truth := make(map[uint64][]uint64)
+	for i := uint64(0); i < uint64(n); i++ {
+		s := h.Hash(i)
+		truth[s] = append(truth[s], i)
+	}
+	for s := uint64(0); s < uint64(h.Range()); s++ {
+		it := h.Preimage(s, n)
+		var got []uint64
+		for v, ok := it.Next(); ok; v, ok = it.Next() {
+			got = append(got, v)
+		}
+		want := truth[s]
+		if len(got) != len(want) {
+			t.Fatalf("s=%d: %d preimages, want %d", s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("s=%d: preimage[%d] = %d, want %d", s, i, got[i], want[i])
+			}
+		}
+		if c := h.PreimageCount(s, n); c != int64(len(want)) {
+			t.Fatalf("s=%d: PreimageCount = %d, want %d", s, c, len(want))
+		}
+	}
+}
+
+func TestSplitXORPreimageIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := NewSplitXOR(rng, 10)
+	it := h.Preimage(77, 1<<20)
+	prev := int64(-1)
+	count := 0
+	for v, ok := it.Next(); ok; v, ok = it.Next() {
+		if int64(v) <= prev {
+			t.Fatalf("preimage not increasing: %d after %d", v, prev)
+		}
+		if h.Hash(v) != 77 {
+			t.Fatalf("preimage %d hashes to %d", v, h.Hash(v))
+		}
+		prev = int64(v)
+		count++
+	}
+	if count != 1<<10 {
+		t.Fatalf("count = %d, want %d", count, 1<<10)
+	}
+}
+
+func TestSplitXORUniversality(t *testing.T) {
+	// Pr[h(x) = h(y)] ≈ 1/Range for x != y.
+	rng := rand.New(rand.NewSource(6))
+	const low = 10
+	trials := 100000
+	collisions := 0
+	for rep := 0; rep < 20; rep++ {
+		h := NewSplitXOR(rng, low)
+		for j := 0; j < trials/20; j++ {
+			x := rng.Uint64() % (1 << 30)
+			y := rng.Uint64() % (1 << 30)
+			if x != y && h.Hash(x) == h.Hash(y) {
+				collisions++
+			}
+		}
+	}
+	rate := float64(collisions) / float64(trials)
+	if rate > 4.0/(1<<low) {
+		t.Fatalf("collision rate %v too high", rate)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	h1 := NewSplitXOR(rand.New(rand.NewSource(42)), 8)
+	h2 := NewSplitXOR(rand.New(rand.NewSource(42)), 8)
+	for i := uint64(0); i < 1000; i++ {
+		if h1.Hash(i) != h2.Hash(i) {
+			t.Fatal("same seed, different hashes")
+		}
+	}
+}

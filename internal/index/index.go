@@ -1,0 +1,82 @@
+// Package index defines the common contract all secondary indexes in this
+// repository implement — the paper's structures (Theorems 1–7) and the
+// baselines it compares against (bitmap indexes, WAH, multi-resolution
+// bitmap indexes, B-trees) — so the experiment harness can sweep them
+// uniformly.
+package index
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cbitmap"
+)
+
+// QueryStats reports the I/O-model cost of one query: the number of
+// distinct blocks read and written (the paper's cost measure) and the
+// number of compressed bits the query algorithm consumed, which the
+// optimality experiments compare against the information bound.
+type QueryStats struct {
+	Reads    int
+	Writes   int
+	BitsRead int64
+}
+
+// Add accumulates other into s.
+func (s *QueryStats) Add(other QueryStats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.BitsRead += other.BitsRead
+}
+
+// Range is an alphabet range query [Lo,Hi] (inclusive, as in the paper).
+type Range struct {
+	Lo, Hi uint32
+}
+
+// Valid reports whether the range is well-formed for alphabet size sigma.
+func (r Range) Valid(sigma int) error {
+	if r.Lo > r.Hi {
+		return fmt.Errorf("index: empty range [%d,%d]", r.Lo, r.Hi)
+	}
+	if int(r.Hi) >= sigma {
+		return fmt.Errorf("index: range end %d outside alphabet [0,%d)", r.Hi, sigma)
+	}
+	return nil
+}
+
+// Len returns the number of characters in the range (the paper's ℓ).
+func (r Range) Len() int { return int(r.Hi-r.Lo) + 1 }
+
+// ErrNotSupported is returned by optional operations an index does not
+// implement (e.g. updates on a static structure).
+var ErrNotSupported = errors.New("index: operation not supported")
+
+// Index is a secondary index over a string x ∈ Σⁿ.
+type Index interface {
+	// Name identifies the structure in experiment tables.
+	Name() string
+	// Len returns n, the length of the indexed string.
+	Len() int64
+	// Sigma returns the alphabet size σ.
+	Sigma() int
+	// SizeBits returns the total space usage in bits, including bitmap
+	// payloads, directories and tree structure.
+	SizeBits() int64
+	// Query answers I[lo;hi] as a compressed position set.
+	Query(r Range) (*cbitmap.Bitmap, QueryStats, error)
+}
+
+// Appender is implemented by the semi-dynamic structures (Theorems 4–5).
+type Appender interface {
+	Index
+	// Append appends character c at the end of the string.
+	Append(c uint32) (QueryStats, error)
+}
+
+// Changer is implemented by the fully dynamic structure (Theorem 7).
+type Changer interface {
+	Index
+	// Change sets position i to character c.
+	Change(i int64, c uint32) (QueryStats, error)
+}

@@ -1,0 +1,41 @@
+package index
+
+import "testing"
+
+func TestRangeValid(t *testing.T) {
+	cases := []struct {
+		r     Range
+		sigma int
+		ok    bool
+	}{
+		{Range{0, 0}, 1, true},
+		{Range{0, 7}, 8, true},
+		{Range{7, 7}, 8, true},
+		{Range{3, 2}, 8, false},  // inverted
+		{Range{0, 8}, 8, false},  // past alphabet
+		{Range{9, 10}, 8, false}, // fully outside
+	}
+	for _, c := range cases {
+		err := c.r.Valid(c.sigma)
+		if (err == nil) != c.ok {
+			t.Errorf("Valid(%+v, %d) = %v, want ok=%v", c.r, c.sigma, err, c.ok)
+		}
+	}
+}
+
+func TestRangeLen(t *testing.T) {
+	if (Range{5, 5}).Len() != 1 {
+		t.Fatal("point range length")
+	}
+	if (Range{2, 9}).Len() != 8 {
+		t.Fatal("range length")
+	}
+}
+
+func TestQueryStatsAdd(t *testing.T) {
+	a := QueryStats{Reads: 1, Writes: 2, BitsRead: 3}
+	a.Add(QueryStats{Reads: 10, Writes: 20, BitsRead: 30})
+	if a.Reads != 11 || a.Writes != 22 || a.BitsRead != 33 {
+		t.Fatalf("Add: %+v", a)
+	}
+}

@@ -1,0 +1,375 @@
+// Package iomodel simulates the external-memory (I/O) model of Aggarwal and
+// Vitter [1] that the paper analyses its structures in: storage is an array
+// of blocks of B bits, and the cost of an operation is the number of memory
+// blocks read and written ("we count block I/Os and not merely the amount of
+// data read").
+//
+// A Disk stores data at bit granularity so that concatenated compressed
+// bitmaps can share blocks exactly as the paper's static layouts require.
+// Static data is placed with AllocStream; dynamic structures own whole
+// blocks obtained from AllocBlock (with a free list, so rebuilds recycle
+// space). Every logical operation on an index opens a Touch session; the
+// session records the set of distinct blocks read and written, which is the
+// operation's I/O cost.
+//
+// Substitution note (see DESIGN.md): the paper's experiments would run on a
+// physical disk; we instead count block transfers exactly. The theorems bound
+// exactly this count, so the simulated device is the most direct way to
+// check them, and it is deterministic (no GC or device noise).
+package iomodel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/bitio"
+)
+
+// DefaultBlockBits is a typical block size: 4 KiB = 32768 bits.
+const DefaultBlockBits = 32768
+
+// Config describes the simulated device.
+type Config struct {
+	// BlockBits is the block size B in bits. The paper assumes B >= lg n.
+	BlockBits int
+	// MemBits is the internal memory size M in bits. It is advisory: the
+	// harness reports whether the paper's assumption M = B(σ lg n)^Ω(1)
+	// holds for a given experiment; merges themselves run in host memory.
+	MemBits int
+}
+
+// Stats accumulates global device counters. Counter updates are atomic so
+// concurrent read-only sessions (parallel queries against a static index)
+// are safe; allocation and writes require external coordination.
+type Stats struct {
+	BlockReads  atomic.Int64 // distinct block reads summed over all sessions
+	BlockWrites atomic.Int64 // distinct block writes summed over all sessions
+	Sessions    atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of the counters.
+type StatsSnapshot struct {
+	BlockReads  int64
+	BlockWrites int64
+	Sessions    int64
+}
+
+// Extent identifies a bit range on the disk.
+type Extent struct {
+	Off  int64 // first bit
+	Bits int64 // length in bits
+}
+
+// End returns the bit position one past the extent.
+func (e Extent) End() int64 { return e.Off + e.Bits }
+
+// BlockID identifies a whole block.
+type BlockID int64
+
+// Disk is the simulated block device.
+type Disk struct {
+	cfg      Config
+	buf      []byte
+	tailBits int64
+	free     []BlockID
+	freed    int64 // number of blocks currently on the free list
+	stats    Stats
+}
+
+// ErrInvalidRange reports an out-of-bounds disk access.
+var ErrInvalidRange = errors.New("iomodel: access outside allocated storage")
+
+// NewDisk returns a Disk with the given configuration. A zero BlockBits
+// selects DefaultBlockBits; BlockBits must be a positive multiple of 8 so
+// blocks are byte-addressable. A zero MemBits selects 1024 blocks.
+func NewDisk(cfg Config) *Disk {
+	if cfg.BlockBits == 0 {
+		cfg.BlockBits = DefaultBlockBits
+	}
+	if cfg.BlockBits <= 0 || cfg.BlockBits%8 != 0 {
+		panic(fmt.Sprintf("iomodel: BlockBits %d must be a positive multiple of 8", cfg.BlockBits))
+	}
+	if cfg.MemBits == 0 {
+		cfg.MemBits = 1024 * cfg.BlockBits
+	}
+	return &Disk{cfg: cfg}
+}
+
+// BlockBits returns the block size B in bits.
+func (d *Disk) BlockBits() int { return d.cfg.BlockBits }
+
+// MemBits returns the advisory internal memory size M in bits.
+func (d *Disk) MemBits() int { return d.cfg.MemBits }
+
+// Stats returns a copy of the cumulative device counters.
+func (d *Disk) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		BlockReads:  d.stats.BlockReads.Load(),
+		BlockWrites: d.stats.BlockWrites.Load(),
+		Sessions:    d.stats.Sessions.Load(),
+	}
+}
+
+// ResetStats zeroes the cumulative counters (allocation state is kept).
+func (d *Disk) ResetStats() {
+	d.stats.BlockReads.Store(0)
+	d.stats.BlockWrites.Store(0)
+	d.stats.Sessions.Store(0)
+}
+
+// AllocatedBits returns the total bits ever placed on the device, including
+// blocks currently on the free list.
+func (d *Disk) AllocatedBits() int64 { return d.tailBits }
+
+// UsedBits returns allocated bits minus freed blocks. This is the space
+// usage reported by the experiments.
+func (d *Disk) UsedBits() int64 { return d.tailBits - d.freed*int64(d.cfg.BlockBits) }
+
+func (d *Disk) ensure(bits int64) {
+	need := int((bits + 7) / 8)
+	for len(d.buf) < need {
+		d.buf = append(d.buf, make([]byte, need-len(d.buf))...)
+	}
+}
+
+// putBits writes the low n bits of v at absolute bit position pos,
+// overwriting whatever is there. Storage must already cover the range.
+func (d *Disk) putBits(pos int64, v uint64, n int) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	for n > 0 {
+		byteIdx := pos >> 3
+		bitIdx := int(pos & 7)
+		room := 8 - bitIdx
+		take := n
+		if take > room {
+			take = room
+		}
+		chunk := byte(v>>uint(n-take)) & (1<<uint(take) - 1)
+		shift := uint(room - take)
+		mask := byte(1<<uint(take)-1) << shift
+		d.buf[byteIdx] = d.buf[byteIdx]&^mask | chunk<<shift
+		pos += int64(take)
+		n -= take
+	}
+}
+
+// getBits reads n bits at absolute bit position pos.
+func (d *Disk) getBits(pos int64, n int) uint64 {
+	var v uint64
+	for n > 0 {
+		byteIdx := pos >> 3
+		bitIdx := int(pos & 7)
+		room := 8 - bitIdx
+		take := n
+		if take > room {
+			take = room
+		}
+		chunk := d.buf[byteIdx] >> uint(room-take) & (1<<uint(take) - 1)
+		v = v<<uint(take) | uint64(chunk)
+		pos += int64(take)
+		n -= take
+	}
+	return v
+}
+
+// AllocStream appends the contents of w to the device with no alignment and
+// returns the extent. Adjacent AllocStream calls share blocks, which is how
+// the paper's concatenated per-level bitmap layouts are realised.
+func (d *Disk) AllocStream(w *bitio.Writer) Extent {
+	ext := Extent{Off: d.tailBits, Bits: int64(w.Len())}
+	d.ensure(d.tailBits + ext.Bits)
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	pos := d.tailBits
+	for r.Remaining() >= 64 {
+		v, _ := r.ReadBits(64)
+		d.putBits(pos, v, 64)
+		pos += 64
+	}
+	if rem := r.Remaining(); rem > 0 {
+		v, _ := r.ReadBits(rem)
+		d.putBits(pos, v, rem)
+		pos += int64(rem)
+	}
+	d.tailBits = pos
+	return ext
+}
+
+// AlignToBlock pads the allocation tail to a block boundary.
+func (d *Disk) AlignToBlock() {
+	bb := int64(d.cfg.BlockBits)
+	if rem := d.tailBits % bb; rem != 0 {
+		d.tailBits += bb - rem
+		d.ensure(d.tailBits)
+	}
+}
+
+// AllocBlock returns a zeroed whole block, reusing freed blocks if possible.
+func (d *Disk) AllocBlock() BlockID {
+	if n := len(d.free); n > 0 {
+		id := d.free[n-1]
+		d.free = d.free[:n-1]
+		d.freed--
+		// Zero the reused block.
+		off := int64(id) * int64(d.cfg.BlockBits)
+		for i := 0; i < d.cfg.BlockBits; i += 64 {
+			d.putBits(off+int64(i), 0, 64)
+		}
+		return id
+	}
+	d.AlignToBlock()
+	id := BlockID(d.tailBits / int64(d.cfg.BlockBits))
+	d.tailBits += int64(d.cfg.BlockBits)
+	d.ensure(d.tailBits)
+	return id
+}
+
+// FreeBlock returns a block to the free list.
+func (d *Disk) FreeBlock(id BlockID) {
+	d.free = append(d.free, id)
+	d.freed++
+}
+
+// BlockOff returns the absolute bit offset of a block.
+func (d *Disk) BlockOff(id BlockID) int64 { return int64(id) * int64(d.cfg.BlockBits) }
+
+// blockOf returns the block containing bit position pos.
+func (d *Disk) blockOf(pos int64) BlockID { return BlockID(pos / int64(d.cfg.BlockBits)) }
+
+// Touch is an I/O accounting session for one logical operation. Distinct
+// blocks read (written) during the session cost one read (write) I/O each,
+// no matter how many times they are accessed: the paper's model holds the
+// blocks an operation works on in internal memory for the operation's
+// duration.
+type Touch struct {
+	d      *Disk
+	reads  map[BlockID]struct{}
+	writes map[BlockID]struct{}
+}
+
+// NewTouch opens an accounting session.
+func (d *Disk) NewTouch() *Touch {
+	d.stats.Sessions.Add(1)
+	return &Touch{d: d, reads: make(map[BlockID]struct{}), writes: make(map[BlockID]struct{})}
+}
+
+// Reads returns the number of distinct blocks read in this session.
+func (t *Touch) Reads() int { return len(t.reads) }
+
+// Writes returns the number of distinct blocks written in this session.
+func (t *Touch) Writes() int { return len(t.writes) }
+
+// IOs returns total distinct blocks touched (reads + writes).
+func (t *Touch) IOs() int { return len(t.reads) + len(t.writes) }
+
+func (t *Touch) markRead(from, to BlockID) {
+	for b := from; b <= to; b++ {
+		if _, ok := t.reads[b]; !ok {
+			t.reads[b] = struct{}{}
+			t.d.stats.BlockReads.Add(1)
+		}
+	}
+}
+
+func (t *Touch) markWrite(from, to BlockID) {
+	for b := from; b <= to; b++ {
+		if _, ok := t.writes[b]; !ok {
+			t.writes[b] = struct{}{}
+			t.d.stats.BlockWrites.Add(1)
+		}
+	}
+}
+
+// ReadBits reads n bits (n <= 64) at bit position pos, charging I/Os.
+func (t *Touch) ReadBits(pos int64, n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("iomodel: ReadBits width %d out of range", n)
+	}
+	if pos < 0 || pos+int64(n) > t.d.tailBits {
+		return 0, ErrInvalidRange
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	t.markRead(t.d.blockOf(pos), t.d.blockOf(pos+int64(n)-1))
+	return t.d.getBits(pos, n), nil
+}
+
+// WriteBits writes the low n bits of v at bit position pos, charging I/Os.
+// In the I/O model a sub-block write requires the block to be resident, so
+// written blocks are charged as reads as well.
+func (t *Touch) WriteBits(pos int64, v uint64, n int) error {
+	if n < 0 || n > 64 {
+		return fmt.Errorf("iomodel: WriteBits width %d out of range", n)
+	}
+	if pos < 0 || pos+int64(n) > t.d.tailBits {
+		return ErrInvalidRange
+	}
+	if n == 0 {
+		return nil
+	}
+	from, to := t.d.blockOf(pos), t.d.blockOf(pos+int64(n)-1)
+	t.markRead(from, to)
+	t.markWrite(from, to)
+	t.d.putBits(pos, v, n)
+	return nil
+}
+
+// Reader returns a bitio.Reader over the extent, charging a read for every
+// block the extent spans (the query algorithms scan whole bitmaps).
+func (t *Touch) Reader(ext Extent) (*bitio.Reader, error) {
+	if ext.Bits == 0 {
+		return bitio.NewReader(nil, 0), nil
+	}
+	if ext.Off < 0 || ext.End() > t.d.tailBits {
+		return nil, ErrInvalidRange
+	}
+	t.markRead(t.d.blockOf(ext.Off), t.d.blockOf(ext.End()-1))
+	// Materialise the extent as a byte-aligned buffer.
+	w := bitio.NewWriter(int(ext.Bits))
+	pos := ext.Off
+	rem := ext.Bits
+	for rem >= 64 {
+		w.WriteBits(t.d.getBits(pos, 64), 64)
+		pos += 64
+		rem -= 64
+	}
+	if rem > 0 {
+		w.WriteBits(t.d.getBits(pos, int(rem)), int(rem))
+	}
+	return bitio.NewReader(w.Bytes(), w.Len()), nil
+}
+
+// WriteStream overwrites the bits of ext with the contents of w, whose
+// length must not exceed ext.Bits. Charges write I/Os for spanned blocks.
+func (t *Touch) WriteStream(ext Extent, w *bitio.Writer) error {
+	if int64(w.Len()) > ext.Bits {
+		return fmt.Errorf("iomodel: stream of %d bits exceeds extent of %d bits", w.Len(), ext.Bits)
+	}
+	if ext.Off < 0 || ext.End() > t.d.tailBits {
+		return ErrInvalidRange
+	}
+	if w.Len() == 0 {
+		return nil
+	}
+	from, to := t.d.blockOf(ext.Off), t.d.blockOf(ext.Off+int64(w.Len())-1)
+	t.markRead(from, to)
+	t.markWrite(from, to)
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	pos := ext.Off
+	for r.Remaining() >= 64 {
+		v, _ := r.ReadBits(64)
+		t.d.putBits(pos, v, 64)
+		pos += 64
+	}
+	if rem := r.Remaining(); rem > 0 {
+		v, _ := r.ReadBits(rem)
+		t.d.putBits(pos, v, rem)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package rangeenc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+func checkInterval(t *testing.T, ix *IntervalIndex, col workload.Column, q workload.RangeQuery) index.QueryStats {
+	t.Helper()
+	got, stats, err := ix.Query(index.Range{Lo: q.Lo, Hi: q.Hi})
+	if err != nil {
+		t.Fatalf("query [%d,%d]: %v", q.Lo, q.Hi, err)
+	}
+	want := workload.BruteForce(col, q)
+	gp := got.Positions()
+	if len(gp) != len(want) {
+		t.Fatalf("query [%d,%d]: %d results, want %d", q.Lo, q.Hi, len(gp), len(want))
+	}
+	for i := range want {
+		if gp[i] != want[i] {
+			t.Fatalf("query [%d,%d]: result %d = %d, want %d", q.Lo, q.Hi, i, gp[i], want[i])
+		}
+	}
+	return stats
+}
+
+func TestIntervalExhaustive(t *testing.T) {
+	for _, sigma := range []int{2, 3, 16, 17} {
+		col := workload.Uniform(1500, sigma, 1)
+		d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+		ix, err := BuildInterval(d, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < sigma; lo++ {
+			for hi := lo; hi < sigma; hi++ {
+				checkInterval(t, ix, col, workload.RangeQuery{Lo: uint32(lo), Hi: uint32(hi)})
+			}
+		}
+	}
+}
+
+func TestIntervalConstantBitmapReads(t *testing.T) {
+	// Window-expressible queries read at most 2 bitmaps worth of bits.
+	col := workload.Uniform(1<<14, 256, 2)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 4096})
+	ix, err := BuildInterval(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w = 128; a width-128 query is one window, a width-200 query two.
+	one := checkInterval(t, ix, col, workload.RangeQuery{Lo: 10, Hi: 137})
+	two := checkInterval(t, ix, col, workload.RangeQuery{Lo: 10, Hi: 209})
+	if two.BitsRead > 3*one.BitsRead {
+		t.Fatalf("two-window query read %d bits vs one-window %d", two.BitsRead, one.BitsRead)
+	}
+}
+
+func TestIntervalRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		n := 200 + rng.Intn(2000)
+		sigma := 2 + rng.Intn(100)
+		col := workload.Zipf(n, sigma, rng.Float64(), int64(trial))
+		d := iomodel.NewDisk(iomodel.Config{BlockBits: 512})
+		ix, err := BuildInterval(d, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range workload.RandomRanges(15, sigma, 1+rng.Intn(sigma), int64(trial*3)) {
+			checkInterval(t, ix, col, q)
+		}
+	}
+}
+
+func TestIntervalRejects(t *testing.T) {
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 512})
+	if _, err := BuildInterval(d, workload.Column{X: []uint32{0}, Sigma: 1}); err == nil {
+		t.Fatal("sigma=1 accepted")
+	}
+	col := workload.Uniform(100, 8, 6)
+	ix, err := BuildInterval(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Query(index.Range{Lo: 4, Hi: 3}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package rangeenc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+func checkAgainstBrute(t *testing.T, ix *Index, col workload.Column, q workload.RangeQuery) index.QueryStats {
+	t.Helper()
+	got, stats, err := ix.Query(index.Range{Lo: q.Lo, Hi: q.Hi})
+	if err != nil {
+		t.Fatalf("query [%d,%d]: %v", q.Lo, q.Hi, err)
+	}
+	want := workload.BruteForce(col, q)
+	gp := got.Positions()
+	if len(gp) != len(want) {
+		t.Fatalf("query [%d,%d]: %d results, want %d", q.Lo, q.Hi, len(gp), len(want))
+	}
+	for i := range want {
+		if gp[i] != want[i] {
+			t.Fatalf("query [%d,%d]: result %d = %d, want %d", q.Lo, q.Hi, i, gp[i], want[i])
+		}
+	}
+	return stats
+}
+
+func TestCorrectnessExhaustive(t *testing.T) {
+	col := workload.Uniform(1500, 16, 1)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	ix, err := Build(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < 16; lo++ {
+		for hi := lo; hi < 16; hi++ {
+			checkAgainstBrute(t, ix, col, workload.RangeQuery{Lo: uint32(lo), Hi: uint32(hi)})
+		}
+	}
+}
+
+func TestTwoBitmapReads(t *testing.T) {
+	// The scheme's selling point: any range costs at most two bitmap scans.
+	col := workload.Uniform(1<<15, 512, 2)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 4096})
+	ix, err := Build(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := checkAgainstBrute(t, ix, col, workload.RangeQuery{Lo: 100, Hi: 101})
+	wide := checkAgainstBrute(t, ix, col, workload.RangeQuery{Lo: 100, Hi: 400})
+	// Bits read are within 2x of each other regardless of range width (both
+	// read ~2 dense prefix bitmaps).
+	ratio := float64(wide.BitsRead) / float64(narrow.BitsRead)
+	if ratio > 2 || ratio < 0.5 {
+		t.Fatalf("bits read varied with range width: narrow %d, wide %d", narrow.BitsRead, wide.BitsRead)
+	}
+}
+
+func TestSpaceBlowupVsEqualityEncoding(t *testing.T) {
+	// The paper's reason to exclude the scheme: prefix bitmaps are dense,
+	// so total space is Θ(n·σ)-ish even compressed, far above the
+	// equality-encoded index.
+	col := workload.Uniform(1<<13, 256, 3)
+	dR := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	rix, err := Build(dR, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dE := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	eix, err := bitmapidx.Build(dE, col, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rix.SizeBits() < 10*eix.SizeBits() {
+		t.Fatalf("range encoding %d bits vs equality %d: expected >10x blowup",
+			rix.SizeBits(), eix.SizeBits())
+	}
+}
+
+func TestRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		n := 100 + rng.Intn(2000)
+		sigma := 2 + rng.Intn(64)
+		col := workload.Zipf(n, sigma, rng.Float64()*1.5, int64(trial))
+		d := iomodel.NewDisk(iomodel.Config{BlockBits: 512})
+		ix, err := Build(d, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range workload.RandomRanges(10, sigma, 1+rng.Intn(sigma), int64(trial*5)) {
+			checkAgainstBrute(t, ix, col, q)
+		}
+	}
+}
+
+func TestInvalid(t *testing.T) {
+	col := workload.Uniform(100, 8, 5)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 512})
+	ix, err := Build(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Query(index.Range{Lo: 5, Hi: 4}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := Build(d, workload.Column{X: []uint32{9}, Sigma: 4}); err == nil {
+		t.Fatal("out-of-alphabet character accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package ridlist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+func peopleTable(t *testing.T, n int) *workload.Table {
+	t.Helper()
+	tb, err := workload.NewTable(n, 42, []workload.ColumnSpec{
+		{Name: "age", Sigma: 100, Dist: "uniform"},
+		{Name: "sex", Sigma: 2, Dist: "uniform"},
+		{Name: "marital", Sigma: 4, Dist: "zipf", Theta: 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func bruteConj(tb *workload.Table, conds []Cond) map[int64]bool {
+	out := map[int64]bool{}
+	for i := 0; i < tb.N; i++ {
+		ok := true
+		for _, c := range conds {
+			v := tb.Cols[c.Dim].X[i]
+			if v < c.Lo || v > c.Hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[int64(i)] = true
+		}
+	}
+	return out
+}
+
+func TestConjunctionExact(t *testing.T) {
+	tb := peopleTable(t, 4000)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	e, err := Build(d, tb, 7, core.OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Married (marital=1) men (sex=1) of age 33.
+	conds := []Cond{{Dim: 0, Lo: 33, Hi: 33}, {Dim: 1, Lo: 1, Hi: 1}, {Dim: 2, Lo: 1, Hi: 1}}
+	got, stats, err := e.Conjunction(conds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteConj(tb, conds)
+	if int(got.Card()) != len(want) {
+		t.Fatalf("card %d, want %d", got.Card(), len(want))
+	}
+	for _, i := range got.Positions() {
+		if !want[i] {
+			t.Fatalf("extra row %d", i)
+		}
+	}
+	if stats.Reads == 0 {
+		t.Fatal("no I/Os charged")
+	}
+}
+
+func TestConjunctionApproxIsExactAfterVerify(t *testing.T) {
+	tb := peopleTable(t, 8000)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	e, err := Build(d, tb, 7, core.OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := []Cond{{Dim: 0, Lo: 30, Hi: 35}, {Dim: 1, Lo: 1, Hi: 1}}
+	got, _, verified, err := e.ConjunctionApprox(conds, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteConj(tb, conds)
+	if int(got.Card()) != len(want) {
+		t.Fatalf("card %d, want %d", got.Card(), len(want))
+	}
+	for _, i := range got.Positions() {
+		if !want[i] {
+			t.Fatalf("extra row %d after verification", i)
+		}
+	}
+	if verified < got.Card() {
+		t.Fatalf("verified %d < results %d", verified, got.Card())
+	}
+	// The point of eps-filtering: candidates verified should be far fewer
+	// than the table.
+	if verified > int64(tb.N)/2 {
+		t.Fatalf("verified %d of %d rows — filtering is not working", verified, tb.N)
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	tb := peopleTable(t, 3000)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	e, err := Build(d, tb, 7, core.OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := []Cond{{Dim: 0, Lo: 0, Hi: 49}, {Dim: 1, Lo: 0, Hi: 0}, {Dim: 2, Lo: 0, Hi: 0}}
+	for k := 1; k <= 3; k++ {
+		got, _, err := e.AtLeast(conds, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for i := 0; i < tb.N; i++ {
+			hits := 0
+			for _, c := range conds {
+				v := tb.Cols[c.Dim].X[i]
+				if v >= c.Lo && v <= c.Hi {
+					hits++
+				}
+			}
+			if hits >= k {
+				want++
+			}
+		}
+		if got.Card() != want {
+			t.Fatalf("k=%d: card %d, want %d", k, got.Card(), want)
+		}
+	}
+}
+
+func TestPartialMatch(t *testing.T) {
+	tb := peopleTable(t, 2000)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	e, err := Build(d, tb, 7, core.OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := []Cond{{Dim: 2, Lo: 0, Hi: 1}}
+	got, _, err := e.PartialMatch(conds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteConj(tb, conds)
+	if int(got.Card()) != len(want) {
+		t.Fatalf("card %d, want %d", got.Card(), len(want))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tb := peopleTable(t, 100)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	e, err := Build(d, tb, 7, core.OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Conjunction(nil); err == nil {
+		t.Fatal("empty conditions accepted")
+	}
+	if _, _, err := e.Conjunction([]Cond{{Dim: 9, Lo: 0, Hi: 0}}); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+	if _, _, err := e.AtLeast([]Cond{{Dim: 0, Lo: 0, Hi: 1}}, 5); err == nil {
+		t.Fatal("k > len(conds) accepted")
+	}
+	if e.Dims() != 3 || e.SizeBits() <= 0 {
+		t.Fatal("Dims/SizeBits wrong")
+	}
+}
+
+func TestShortCircuitEmptyDimension(t *testing.T) {
+	tb := peopleTable(t, 1000)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	e, err := Build(d, tb, 7, core.OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// marital has sigma 4; range [3,3] may be rare but never errors; an
+	// empty first result must short-circuit cleanly.
+	conds := []Cond{{Dim: 1, Lo: 1, Hi: 0x0}, {Dim: 0, Lo: 0, Hi: 99}}
+	if _, _, err := e.Conjunction(conds); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestConjunctionPlanned(t *testing.T) {
+	tb := peopleTable(t, 6000)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	e, err := Build(d, tb, 7, core.OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wide condition first, selective last: the planner must reorder.
+	conds := []Cond{
+		{Dim: 1, Lo: 0, Hi: 1},   // sex: everything (z = n)
+		{Dim: 0, Lo: 33, Hi: 33}, // age: ~1%
+	}
+	planned, plannedStats, err := e.ConjunctionPlanned(conds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, naiveStats, err := e.Conjunction(conds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteConj(tb, conds)
+	if int(planned.Card()) != len(want) || int(naive.Card()) != len(want) {
+		t.Fatalf("cards %d/%d want %d", planned.Card(), naive.Card(), len(want))
+	}
+	// Same answer; equal or cheaper index layer. (Both read both dimensions
+	// here — planning pays once a dimension short-circuits.)
+	if plannedStats.BitsRead > naiveStats.BitsRead {
+		t.Fatalf("planned read more: %d vs %d", plannedStats.BitsRead, naiveStats.BitsRead)
+	}
+	// Short-circuit case: impossible selective condition first skips the
+	// wide dimensions entirely.
+	impossible := []Cond{
+		{Dim: 1, Lo: 0, Hi: 1},
+		{Dim: 2, Lo: 3, Hi: 3}, // rare marital status (zipf tail); may be empty
+	}
+	pRes, pStats, err := e.ConjunctionPlanned(impossible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRes, nStats, err := e.Conjunction(impossible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pRes.Card() != nRes.Card() {
+		t.Fatalf("planned vs naive: %d vs %d", pRes.Card(), nRes.Card())
+	}
+	if pStats.BitsRead > nStats.BitsRead {
+		t.Fatalf("planned read more on skewed query: %d vs %d", pStats.BitsRead, nStats.BitsRead)
+	}
+	// Invalid conditions are rejected before any I/O.
+	if _, _, err := e.ConjunctionPlanned([]Cond{{Dim: 0, Lo: 5, Hi: 4}}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package wah
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+func randSet(rng *rand.Rand, n int64, m int) []int64 {
+	seen := make(map[int64]struct{}, m)
+	for len(seen) < m {
+		seen[rng.Int63n(n)] = struct{}{}
+	}
+	out := make([]int64, 0, m)
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{0, 1, 31, 32, 100, 5000} {
+		n := int64(1 << 16)
+		pos := randSet(rng, n, m)
+		b, err := FromPositions(n, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Card() != int64(m) {
+			t.Fatalf("m=%d: card = %d", m, b.Card())
+		}
+		got := b.Positions()
+		for i := range pos {
+			if got[i] != pos[i] {
+				t.Fatalf("m=%d: pos %d = %d, want %d", m, i, got[i], pos[i])
+			}
+		}
+	}
+}
+
+func TestDenseRuns(t *testing.T) {
+	// A long run of ones compresses to a couple of fill words.
+	n := int64(31 * 1000)
+	pos := make([]int64, n)
+	for i := range pos {
+		pos[i] = int64(i)
+	}
+	b, err := FromPositions(n, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Words()) > 3 {
+		t.Fatalf("all-ones bitmap used %d words", len(b.Words()))
+	}
+	got := b.Positions()
+	if int64(len(got)) != n {
+		t.Fatalf("decoded %d positions", len(got))
+	}
+}
+
+func TestSparseIsLinear(t *testing.T) {
+	// m scattered bits need O(m) words (each literal + a fill between).
+	n := int64(1 << 20)
+	var pos []int64
+	for i := int64(0); i < 1000; i++ {
+		pos = append(pos, i*997)
+	}
+	b, err := FromPositions(n, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Words()) > 2100 {
+		t.Fatalf("sparse bitmap used %d words", len(b.Words()))
+	}
+}
+
+func TestUniverseNotMultipleOf31(t *testing.T) {
+	n := int64(100) // 100 = 3*31 + 7
+	pos := []int64{0, 30, 31, 99}
+	b, err := FromPositions(n, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.Positions()
+	if len(got) != 4 || got[3] != 99 {
+		t.Fatalf("got %v", got)
+	}
+	// Trailing partial group full of ones must stay literal.
+	var all []int64
+	for i := int64(93); i < 100; i++ {
+		all = append(all, i)
+	}
+	b2, err := FromPositions(n, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := b2.Positions()
+	if len(got2) != 7 {
+		t.Fatalf("partial trailing group: got %v", got2)
+	}
+}
+
+func TestFromWordsValidation(t *testing.T) {
+	b, err := FromPositions(1000, []int64{5, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := FromWords(1000, b.Words())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Card() != 2 {
+		t.Fatalf("card = %d", b2.Card())
+	}
+	if _, err := FromWords(5000, b.Words()); err != ErrCorrupt {
+		t.Fatalf("wrong-universe decode: %v", err)
+	}
+}
+
+func TestBadPositions(t *testing.T) {
+	if _, err := FromPositions(10, []int64{5, 5}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := FromPositions(10, []int64{11}); err == nil {
+		t.Fatal("out of universe accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		n := int64(1 << 16)
+		seen := map[int64]struct{}{}
+		for _, v := range raw {
+			seen[int64(v)] = struct{}{}
+		}
+		pos := make([]int64, 0, len(seen))
+		for p := range seen {
+			pos = append(pos, p)
+		}
+		sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+		b, err := FromPositions(n, pos)
+		if err != nil {
+			return false
+		}
+		got := b.Positions()
+		if len(got) != len(pos) {
+			return false
+		}
+		for i := range pos {
+			if got[i] != pos[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexCorrectness(t *testing.T) {
+	col := workload.Runs(4000, 32, 20, 2)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	ix, err := BuildIndex(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range workload.RandomRanges(30, 32, 4, 3) {
+		got, _, err := ix.Query(index.Range{Lo: q.Lo, Hi: q.Hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := workload.BruteForce(col, q)
+		gp := got.Positions()
+		if len(gp) != len(want) {
+			t.Fatalf("[%d,%d]: %d vs %d", q.Lo, q.Hi, len(gp), len(want))
+		}
+		for i := range want {
+			if gp[i] != want[i] {
+				t.Fatalf("[%d,%d]: mismatch at %d", q.Lo, q.Hi, i)
+			}
+		}
+	}
+}
+
+func TestIndexWorseThanGammaOnSparse(t *testing.T) {
+	// WAH's word alignment costs ~32 bits per isolated 1 vs ~2lg(gap) for
+	// gamma: on uniform data with large sigma, WAH should be bigger.
+	col := workload.Uniform(1<<15, 1024, 4)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	ix, err := BuildIndex(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 2^15 ones costs >= 32 bits in the worst case; just check
+	// the index is at least n words of payload.
+	if ix.SizeBits() < int64(col.Len())*16 {
+		t.Fatalf("suspiciously small WAH index: %d bits", ix.SizeBits())
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/entropy"
+)
+
+func TestUniformBasics(t *testing.T) {
+	c := Uniform(10000, 16, 1)
+	if c.Len() != 10000 || c.Sigma != 16 {
+		t.Fatalf("c = %d/%d", c.Len(), c.Sigma)
+	}
+	for i, v := range c.X {
+		if v >= 16 {
+			t.Fatalf("x[%d] = %d out of range", i, v)
+		}
+	}
+	// Entropy should be near lg 16 = 4.
+	h := entropy.H0String(c.X, c.Sigma)
+	if h < 3.9 || h > 4.0 {
+		t.Fatalf("uniform H0 = %v", h)
+	}
+}
+
+func TestZipfSkewLowersEntropy(t *testing.T) {
+	n, sigma := 50000, 256
+	var prev float64 = 9
+	for _, theta := range []float64{0, 0.5, 1.0, 1.5, 2.0} {
+		c := Zipf(n, sigma, theta, 2)
+		h := entropy.H0String(c.X, c.Sigma)
+		if h > prev+0.01 {
+			t.Fatalf("theta=%v: H0 %v did not decrease (prev %v)", theta, h, prev)
+		}
+		prev = h
+	}
+	// theta=0 is uniform: H0 near lg 256 = 8.
+	c := Zipf(n, sigma, 0, 2)
+	if h := entropy.H0String(c.X, c.Sigma); h < 7.9 {
+		t.Fatalf("zipf(0) H0 = %v", h)
+	}
+}
+
+func TestRunsAreClustered(t *testing.T) {
+	c := Runs(10000, 64, 50, 3)
+	// Count character changes; with mean run 50 there should be far fewer
+	// than n changes.
+	changes := 0
+	for i := 1; i < len(c.X); i++ {
+		if c.X[i] != c.X[i-1] {
+			changes++
+		}
+	}
+	if changes > 1500 {
+		t.Fatalf("too many changes for clustered data: %d", changes)
+	}
+}
+
+func TestMarkov(t *testing.T) {
+	c := Markov(10000, 64, 0.95, 4)
+	changes := 0
+	for i := 1; i < len(c.X); i++ {
+		if c.X[i] != c.X[i-1] {
+			changes++
+		}
+	}
+	// With pStay 0.95, expect ~ n*0.05*(63/64) changes ≈ 492.
+	if changes > 1000 {
+		t.Fatalf("markov changes = %d", changes)
+	}
+}
+
+func TestSorted(t *testing.T) {
+	c := Sorted(1000, 10)
+	for i := 1; i < len(c.X); i++ {
+		if c.X[i] < c.X[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+	if c.X[0] != 0 || c.X[999] != 9 {
+		t.Fatalf("range: %d..%d", c.X[0], c.X[999])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Zipf(1000, 32, 1.2, 99)
+	b := Zipf(1000, 32, 1.2, 99)
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatal("same seed, different column")
+		}
+	}
+}
+
+func TestNewTable(t *testing.T) {
+	tb, err := NewTable(500, 7, []ColumnSpec{
+		{Name: "age", Sigma: 100, Dist: "uniform"},
+		{Name: "sex", Sigma: 2, Dist: "uniform"},
+		{Name: "city", Sigma: 50, Dist: "zipf", Theta: 1.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Cols) != 3 || tb.N != 500 {
+		t.Fatalf("table = %d cols, %d rows", len(tb.Cols), tb.N)
+	}
+	if _, err := NewTable(10, 0, []ColumnSpec{{Dist: "bogus", Sigma: 2}}); err == nil {
+		t.Fatal("bogus distribution accepted")
+	}
+}
+
+func TestRandomRangesAndBruteForce(t *testing.T) {
+	c := Uniform(2000, 64, 5)
+	qs := RandomRanges(100, 64, 8, 6)
+	for _, q := range qs {
+		if q.Hi-q.Lo != 7 || q.Hi >= 64 {
+			t.Fatalf("bad query %+v", q)
+		}
+		res := BruteForce(c, q)
+		for _, rid := range res {
+			v := c.X[rid]
+			if v < q.Lo || v > q.Hi {
+				t.Fatalf("brute force wrong: x[%d]=%d not in [%d,%d]", rid, v, q.Lo, q.Hi)
+			}
+		}
+	}
+	// Degenerate lengths clamp.
+	qs = RandomRanges(1, 64, 0, 6)
+	if qs[0].Hi != qs[0].Lo {
+		t.Fatal("length clamp failed")
+	}
+	qs = RandomRanges(1, 64, 1000, 6)
+	if qs[0].Lo != 0 || qs[0].Hi != 63 {
+		t.Fatal("length clamp to sigma failed")
+	}
+}

@@ -1,0 +1,316 @@
+// Package secidx is a Go implementation of the secondary indexing data
+// structures of Pagh and Rao, "Secondary Indexing in One Dimension: Beyond
+// B-trees and Bitmap Indexes" (PODS 2009).
+//
+// A secondary index stores a column x ∈ Σⁿ (x[i] is the key of row i) and
+// answers alphabet range queries I[lo;hi] = { i | x[i] ∈ [lo,hi] },
+// returning the row set in compressed form. The package provides:
+//
+//   - Index: the static structure of Theorem 2 — space within a constant
+//     factor of the column's 0th-order entropy, queries that read within a
+//     constant factor of the compressed answer size — with the approximate
+//     (Bloom-filter-like) queries of Theorem 3.
+//   - AppendIndex: the semi-dynamic structures of Theorems 4–5 (append-only
+//     columns, as in OLAP ingest), direct or buffered.
+//   - DynamicIndex: the fully dynamic structure of Theorem 7 (change and
+//     delete arbitrary rows).
+//
+// All structures run on a simulated external-memory device that counts
+// block I/Os — the paper's cost model — so every operation reports its
+// Reads/Writes alongside the result.
+package secidx
+
+import (
+	"fmt"
+
+	"repro/internal/cbitmap"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// Stats reports the I/O-model cost of one operation: distinct blocks read
+// and written, and the number of compressed bits consumed.
+type Stats struct {
+	Reads    int
+	Writes   int
+	BitsRead int64
+}
+
+func fromQS(s index.QueryStats) Stats {
+	return Stats{Reads: s.Reads, Writes: s.Writes, BitsRead: s.BitsRead}
+}
+
+// Result is a query answer: a compressed set of row ids.
+type Result struct {
+	bm *cbitmap.Bitmap
+}
+
+// Card returns the number of rows in the result.
+func (r *Result) Card() int64 { return r.bm.Card() }
+
+// Rows materialises the result as a sorted row-id slice.
+func (r *Result) Rows() []int64 { return r.bm.Positions() }
+
+// Contains reports whether row i is in the result.
+func (r *Result) Contains(i int64) bool { return r.bm.Contains(i) }
+
+// SizeBits returns the compressed size of the result.
+func (r *Result) SizeBits() int { return r.bm.SizeBits() }
+
+// Intersect returns rows present in both results.
+func (r *Result) Intersect(other *Result) (*Result, error) {
+	bm, err := cbitmap.Intersect(r.bm, other.bm)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{bm: bm}, nil
+}
+
+// Union returns rows present in either result.
+func (r *Result) Union(other *Result) (*Result, error) {
+	bm, err := cbitmap.Union(r.bm, other.bm)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{bm: bm}, nil
+}
+
+// Options configures index construction.
+type Options struct {
+	// BlockBits is the simulated device's block size B in bits
+	// (default 32768 = 4 KiB).
+	BlockBits int
+	// MemBits is the simulated internal memory size M in bits (advisory).
+	MemBits int
+	// Branching is the weight-balanced tree's branching parameter c > 4
+	// (default 8).
+	Branching int
+	// Stride is the level-materialisation stride (default 2, the paper's
+	// 1, 2, 4, 8, … scheme; 1 materialises every level).
+	Stride int
+	// Seed seeds the hash functions used by approximate queries. Indexes
+	// over different columns of the same table must share a Seed for their
+	// approximate results to intersect cheaply.
+	Seed int64
+	// Buffered selects Theorem 5 (buffered appends) for AppendIndex.
+	Buffered bool
+}
+
+func (o Options) disk() *iomodel.Disk {
+	return iomodel.NewDisk(iomodel.Config{BlockBits: o.BlockBits, MemBits: o.MemBits})
+}
+
+// Index is the static secondary index of Theorems 2 and 3.
+type Index struct {
+	ax     *core.Approx
+	disk   *iomodel.Disk
+	column []uint32 // retained for serialisation (WriteTo)
+	opts   Options
+}
+
+// Build constructs a static index over data (values in [0,sigma)).
+func Build(data []uint32, sigma int, opts Options) (*Index, error) {
+	if sigma < 1 {
+		return nil, fmt.Errorf("secidx: alphabet size %d", sigma)
+	}
+	d := opts.disk()
+	ax, err := core.BuildApprox(d, workload.Column{X: data, Sigma: sigma}, core.ApproxOptions{
+		OptimalOptions: core.OptimalOptions{Branching: opts.Branching, Stride: opts.Stride},
+		Seed:           opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ax: ax, disk: d, column: data, opts: opts}, nil
+}
+
+// Len returns the number of rows indexed.
+func (ix *Index) Len() int64 { return ix.ax.Len() }
+
+// Sigma returns the alphabet size.
+func (ix *Index) Sigma() int { return ix.ax.Sigma() }
+
+// SizeBits returns the index's total space usage in bits.
+func (ix *Index) SizeBits() int64 { return ix.ax.SizeBits() }
+
+// Query answers I[lo;hi] exactly.
+func (ix *Index) Query(lo, hi uint32) (*Result, Stats, error) {
+	bm, st, err := ix.ax.Query(index.Range{Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, fromQS(st), err
+	}
+	return &Result{bm: bm}, fromQS(st), nil
+}
+
+// ApproxResult is the answer of an approximate query: a superset of the
+// true rows where each non-matching row appears with probability at most
+// the query's eps. Membership tests and intersections cost no further I/O.
+type ApproxResult struct {
+	res *core.Result
+}
+
+// IsExact reports whether the result carries no false positives.
+func (r *ApproxResult) IsExact() bool { return r.res.IsExact() }
+
+// Contains reports whether row i is admitted by the result.
+func (r *ApproxResult) Contains(i int64) bool { return r.res.Contains(i) }
+
+// CandidateCount returns the number of rows the result admits.
+func (r *ApproxResult) CandidateCount() int64 { return r.res.CandidateCount() }
+
+// Rows materialises the admitted rows (true matches plus false positives).
+func (r *ApproxResult) Rows() ([]int64, error) {
+	bm, err := r.res.Candidates()
+	if err != nil {
+		return nil, err
+	}
+	return bm.Positions(), nil
+}
+
+// IntersectApprox intersects approximate results (across indexes built with
+// the same Seed) without I/O — the paper's preimage-of-the-intersection.
+func IntersectApprox(rs ...*ApproxResult) (*ApproxResult, error) {
+	inner := make([]*core.Result, len(rs))
+	for i, r := range rs {
+		inner[i] = r.res
+	}
+	out, err := core.Intersect(inner...)
+	if err != nil {
+		return nil, err
+	}
+	return &ApproxResult{res: out}, nil
+}
+
+// ApproxQuery answers I[lo;hi] with false-positive probability at most eps
+// per non-matching row (Theorem 3), reading O(z lg(1/eps)) bits instead of
+// O(z lg(n/z)).
+func (ix *Index) ApproxQuery(lo, hi uint32, eps float64) (*ApproxResult, Stats, error) {
+	res, st, err := ix.ax.ApproxQuery(index.Range{Lo: lo, Hi: hi}, eps)
+	if err != nil {
+		return nil, fromQS(st), err
+	}
+	return &ApproxResult{res: res}, fromQS(st), nil
+}
+
+// AppendIndex is the semi-dynamic index of Theorem 4 (or Theorem 5 when
+// Options.Buffered is set): rows may only be appended, the regime of OLAP
+// and scientific data ("typically read and append only").
+type AppendIndex struct {
+	ax   *core.AppendIndex
+	disk *iomodel.Disk
+}
+
+// BuildAppend constructs a semi-dynamic index over an initial column.
+func BuildAppend(data []uint32, sigma int, opts Options) (*AppendIndex, error) {
+	if sigma < 1 {
+		return nil, fmt.Errorf("secidx: alphabet size %d", sigma)
+	}
+	d := opts.disk()
+	ax, err := core.BuildAppendIndex(d, workload.Column{X: data, Sigma: sigma}, core.AppendOptions{
+		Branching: opts.Branching,
+		Stride:    opts.Stride,
+		Buffered:  opts.Buffered,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AppendIndex{ax: ax, disk: d}, nil
+}
+
+// Append appends a row with key ch.
+func (ix *AppendIndex) Append(ch uint32) (Stats, error) {
+	st, err := ix.ax.Append(ch)
+	return fromQS(st), err
+}
+
+// Query answers I[lo;hi].
+func (ix *AppendIndex) Query(lo, hi uint32) (*Result, Stats, error) {
+	bm, st, err := ix.ax.Query(index.Range{Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, fromQS(st), err
+	}
+	return &Result{bm: bm}, fromQS(st), nil
+}
+
+// Len returns the current number of rows.
+func (ix *AppendIndex) Len() int64 { return ix.ax.Len() }
+
+// SizeBits returns the index's space usage in bits.
+func (ix *AppendIndex) SizeBits() int64 { return ix.ax.SizeBits() }
+
+// DynamicIndex is the fully dynamic index of Theorem 7.
+type DynamicIndex struct {
+	dx   *core.Dynamic
+	disk *iomodel.Disk
+}
+
+// BuildDynamic constructs a fully dynamic index over an initial column.
+func BuildDynamic(data []uint32, sigma int, opts Options) (*DynamicIndex, error) {
+	if sigma < 1 {
+		return nil, fmt.Errorf("secidx: alphabet size %d", sigma)
+	}
+	d := opts.disk()
+	dx, err := core.BuildDynamic(d, workload.Column{X: data, Sigma: sigma}, core.DynamicOptions{
+		Branching: opts.Branching,
+		Stride:    opts.Stride,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{dx: dx, disk: d}, nil
+}
+
+// Change sets row i's key to ch.
+func (ix *DynamicIndex) Change(i int64, ch uint32) (Stats, error) {
+	st, err := ix.dx.Change(i, ch)
+	return fromQS(st), err
+}
+
+// Delete removes row i from all future query answers (row ids of other
+// rows are unchanged, the paper's deletion semantics).
+func (ix *DynamicIndex) Delete(i int64) (Stats, error) {
+	st, err := ix.dx.Delete(i)
+	return fromQS(st), err
+}
+
+// Append appends a row with key ch.
+func (ix *DynamicIndex) Append(ch uint32) (Stats, error) {
+	st, err := ix.dx.Append(ch)
+	return fromQS(st), err
+}
+
+// Query answers I[lo;hi].
+func (ix *DynamicIndex) Query(lo, hi uint32) (*Result, Stats, error) {
+	bm, st, err := ix.dx.Query(index.Range{Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, fromQS(st), err
+	}
+	return &Result{bm: bm}, fromQS(st), nil
+}
+
+// Len returns the current number of rows (including deleted ones, whose
+// ids remain stable).
+func (ix *DynamicIndex) Len() int64 { return ix.dx.Len() }
+
+// LiveLen returns the number of non-deleted rows.
+func (ix *DynamicIndex) LiveLen() int64 { return ix.dx.Translator().Live() }
+
+// RawToLive translates a stable row id into its ordinal among surviving
+// rows (the paper's "more natural semantics where character positions are
+// always relative to the current string"). live is false if row i is
+// deleted.
+func (ix *DynamicIndex) RawToLive(i int64) (pos int64, live bool, err error) {
+	pos, live, _, err = ix.dx.Translator().RawToLive(i)
+	return pos, live, err
+}
+
+// LiveToRaw translates a live ordinal back to the stable row id.
+func (ix *DynamicIndex) LiveToRaw(live int64) (int64, error) {
+	raw, _, err := ix.dx.Translator().LiveToRaw(live)
+	return raw, err
+}
+
+// SizeBits returns the index's space usage in bits.
+func (ix *DynamicIndex) SizeBits() int64 { return ix.dx.SizeBits() }

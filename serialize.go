@@ -1,0 +1,156 @@
+package secidx
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/bits"
+)
+
+// Serialization of the static index. The on-wire format stores the build
+// options, the hash seed and the bit-packed column (⌈lg σ⌉ bits per key),
+// protected by an FNV-64 checksum; Load rebuilds the structure
+// deterministically (the same seed reproduces the same hash functions, so
+// approximate results from an index loaded elsewhere still intersect with
+// its siblings). The file is therefore within a constant of the column's
+// raw size, independent of the index's in-memory footprint.
+
+const (
+	magic         = "secidx01"
+	formatVersion = 1
+)
+
+// WriteTo serialises the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	h := fnv.New64a()
+	out := io.MultiWriter(bw, h)
+
+	put := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		n, err := out.Write(buf[:])
+		written += int64(n)
+		return err
+	}
+	if n, err := out.Write([]byte(magic)); err != nil {
+		return written + int64(n), err
+	}
+	written += int64(len(magic))
+	n64 := uint64(ix.Len())
+	sigma := uint64(ix.Sigma())
+	for _, v := range []uint64{
+		formatVersion, n64, sigma,
+		uint64(ix.opts.BlockBits), uint64(ix.opts.MemBits),
+		uint64(ix.opts.Branching), uint64(ix.opts.Stride), uint64(ix.opts.Seed),
+	} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	// Bit-packed column, flushed in 64-bit words.
+	width := max(1, bits.Len64(sigma-1))
+	var acc uint64
+	accBits := 0
+	flush := func() error {
+		if err := put(acc); err != nil {
+			return err
+		}
+		acc, accBits = 0, 0
+		return nil
+	}
+	for _, key := range ix.column {
+		acc |= uint64(key) << uint(accBits)
+		accBits += width
+		if accBits > 64-width {
+			if err := flush(); err != nil {
+				return written, err
+			}
+		}
+	}
+	if accBits > 0 {
+		if err := flush(); err != nil {
+			return written, err
+		}
+	}
+	// Checksum trailer (not itself checksummed).
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], h.Sum64())
+	n, err := bw.Write(buf[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	return written, bw.Flush()
+}
+
+// Load reads an index serialised by WriteTo and rebuilds it.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	h := fnv.New64a()
+	in := io.TeeReader(br, h)
+
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(in, hdr); err != nil {
+		return nil, fmt.Errorf("secidx: load header: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("secidx: bad magic %q", hdr)
+	}
+	get := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(in, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	var fields [8]uint64
+	for i := range fields {
+		v, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("secidx: load field %d: %w", i, err)
+		}
+		fields[i] = v
+	}
+	if fields[0] != formatVersion {
+		return nil, fmt.Errorf("secidx: unsupported format version %d", fields[0])
+	}
+	n, sigma := fields[1], fields[2]
+	if sigma == 0 || n > 1<<40 {
+		return nil, fmt.Errorf("secidx: implausible header (n=%d, sigma=%d)", n, sigma)
+	}
+	opts := Options{
+		BlockBits: int(fields[3]), MemBits: int(fields[4]),
+		Branching: int(fields[5]), Stride: int(fields[6]), Seed: int64(fields[7]),
+	}
+	width := max(1, bits.Len64(sigma-1))
+	perWord := 64 / width
+	col := make([]uint32, 0, n)
+	mask := uint64(1)<<uint(width) - 1
+	for uint64(len(col)) < n {
+		word, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("secidx: load column: %w", err)
+		}
+		for k := 0; k < perWord && uint64(len(col)) < n; k++ {
+			v := word & mask
+			if v >= sigma {
+				return nil, fmt.Errorf("secidx: corrupt column (key %d >= sigma %d)", v, sigma)
+			}
+			col = append(col, uint32(v))
+			word >>= uint(width)
+		}
+	}
+	want := h.Sum64()
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("secidx: load checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(buf[:]); got != want {
+		return nil, fmt.Errorf("secidx: checksum mismatch (file %x, computed %x)", got, want)
+	}
+	return Build(col, int(sigma), opts)
+}

@@ -1,0 +1,123 @@
+package secidx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	x := randColumn(10000, 300, 17)
+	ix, err := Build(x, 300, Options{Seed: 5, BlockBits: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	nw, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != nw {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", nw, buf.Len())
+	}
+	// File size should be ~ n * ceil(lg sigma) bits = 10000*9/8 bytes + header.
+	if buf.Len() > 10000*2 {
+		t.Fatalf("file size %d bytes too large", buf.Len())
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ix.Len() || loaded.Sigma() != ix.Sigma() {
+		t.Fatalf("loaded %d/%d, want %d/%d", loaded.Len(), loaded.Sigma(), ix.Len(), ix.Sigma())
+	}
+	// Identical query answers and, thanks to the shared seed, identical
+	// approximate structures.
+	for _, lo := range []uint32{0, 100, 290} {
+		a, _, err := ix.Query(lo, lo+9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := loaded.Query(lo, lo+9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Card() != b.Card() {
+			t.Fatalf("query [%d,%d]: %d vs %d", lo, lo+9, a.Card(), b.Card())
+		}
+		ra, _, err := ix.ApproxQuery(lo, lo+1, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _, err := loaded.ApproxQuery(lo, lo+1, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.CandidateCount() != rb.CandidateCount() {
+			t.Fatalf("approx [%d,%d]: %d vs %d candidates", lo, lo+1, ra.CandidateCount(), rb.CandidateCount())
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	x := randColumn(2000, 64, 18)
+	ix, err := Build(x, 64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip a byte in the middle: checksum must catch it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+
+	// Truncated file.
+	if _, err := Load(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+
+	// Bad magic.
+	if _, err := Load(strings.NewReader("notsecidx-at-all")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Empty reader.
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestSerializeSmallAlphabets(t *testing.T) {
+	for _, sigma := range []int{1, 2, 3, 64, 65} {
+		x := make([]uint32, 500)
+		for i := range x {
+			x[i] = uint32(i % sigma)
+		}
+		ix, err := Build(x, sigma, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatalf("sigma=%d: %v", sigma, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("sigma=%d: %v", sigma, err)
+		}
+		res, _, err := loaded.Query(0, uint32(sigma-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Card() != 500 {
+			t.Fatalf("sigma=%d: full-range card %d", sigma, res.Card())
+		}
+	}
+}
