@@ -14,9 +14,12 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/bitio"
+	"repro/internal/cbitmap"
 	"repro/internal/core"
 	"repro/internal/entropy"
 	"repro/internal/experiments"
+	"repro/internal/gamma"
 	"repro/internal/index"
 	"repro/internal/iomodel"
 	"repro/internal/workload"
@@ -194,3 +197,147 @@ func BenchmarkApproxQuery(b *testing.B) {
 func BenchmarkA4LevelBuffering(b *testing.B) { benchExperiment(b, experiments.A4LevelBuffering) }
 
 func BenchmarkA5CodeChoice(b *testing.B) { benchExperiment(b, experiments.A5CodeChoice) }
+
+// --- Decode-path micro-benchmarks (the bitio → gamma → cbitmap stack). ---
+
+// gammaBenchStream encodes count values drawn from a seeded distribution and
+// returns the encoded stream plus the values for verification.
+func gammaBenchStream(count int, seed int64) (*bitio.Writer, []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	w := bitio.NewWriter(0)
+	vals := make([]uint64, count)
+	for i := range vals {
+		// Mix of small gaps (the common case in dense bitmaps) and large ones.
+		v := uint64(rng.Intn(8) + 1)
+		if rng.Intn(16) == 0 {
+			v = uint64(rng.Int63n(1<<30) + 1)
+		}
+		vals[i] = v
+		gamma.Write(w, v)
+	}
+	return w, vals
+}
+
+func BenchmarkGammaDecode(b *testing.B) {
+	const count = 1 << 16
+	w, vals := gammaBenchStream(count, 11)
+	b.SetBytes(int64(count))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		var sum uint64
+		for j := 0; j < count; j++ {
+			v, err := gamma.Read(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += v
+		}
+		if i == 0 {
+			var want uint64
+			for _, v := range vals {
+				want += v
+			}
+			if sum != want {
+				b.Fatalf("decode checksum %d want %d", sum, want)
+			}
+		}
+	}
+}
+
+func BenchmarkBitioReadUnary(b *testing.B) {
+	const count = 1 << 16
+	rng := rand.New(rand.NewSource(12))
+	w := bitio.NewWriter(0)
+	for i := 0; i < count; i++ {
+		w.WriteUnary(rng.Intn(40))
+	}
+	b.SetBytes(count)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		for j := 0; j < count; j++ {
+			if _, err := r.ReadUnary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchBitmaps builds k bitmaps over a shared universe with density m ones
+// each.
+func benchBitmaps(k, m int, n int64, seed int64) []*cbitmap.Bitmap {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*cbitmap.Bitmap, k)
+	for i := range out {
+		pos := make([]int64, 0, m)
+		for j := 0; j < m; j++ {
+			pos = append(pos, rng.Int63n(n))
+		}
+		bm, err := cbitmap.FromUnsorted(n, pos)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = bm
+	}
+	return out
+}
+
+func BenchmarkBitmapUnion(b *testing.B) {
+	for _, k := range []int{2, 8} {
+		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
+			ms := benchBitmaps(k, 1<<15, 1<<22, 13)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cbitmap.Union(ms...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBitmapIntersect(b *testing.B) {
+	ms := benchBitmaps(2, 1<<15, 1<<20, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cbitmap.Intersect(ms[0], ms[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContains probes random membership on a 1M-position bitmap — the
+// acceptance target for the skip-sample fast path.
+func BenchmarkContains(b *testing.B) {
+	const m = 1 << 20
+	n := int64(1) << 24
+	rng := rand.New(rand.NewSource(15))
+	pos := make([]int64, 0, m)
+	for j := 0; j < m; j++ {
+		pos = append(pos, rng.Int63n(n))
+	}
+	bm, err := cbitmap.FromUnsorted(n, pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Contains(rng.Int63n(n))
+	}
+	b.ReportMetric(float64(bm.SampleBits())/float64(bm.SizeBits())*100, "sample-overhead-pct")
+}
+
+func BenchmarkBitmapDecode(b *testing.B) {
+	ms := benchBitmaps(1, 1<<17, 1<<24, 16)
+	bm := ms[0]
+	w := bitio.NewWriter(bm.SizeBits())
+	bm.EncodeTo(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		if _, err := cbitmap.Decode(r, bm.Card(), bm.Universe()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

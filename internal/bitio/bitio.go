@@ -4,12 +4,18 @@
 // gap-encoded bitmaps, block-aligned bitmap pages) are built on this package.
 // Bits are written most-significant-bit first within each byte, so that the
 // encoded stream is a prefix of its own byte representation and positioned
-// reads at arbitrary bit offsets are cheap.
+// reads at arbitrary bit offsets are cheap. This MSB-first format is fixed:
+// the word-at-a-time fast paths below (64-bit peek window, CLZ-based unary
+// decode, byte-copy appends) change only how the stream is traversed, never
+// a single bit of what is written, so encoded streams remain byte-identical
+// to the original bit-by-bit implementation.
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrOutOfBits is returned when a read runs past the end of the stream.
@@ -17,6 +23,8 @@ var ErrOutOfBits = errors.New("bitio: read past end of stream")
 
 // Writer appends bits to an in-memory buffer, most significant bit first.
 // The zero value is ready to use.
+//
+// Invariant: len(buf) == (nbit+7)/8 and all bits of buf past nbit are zero.
 type Writer struct {
 	buf  []byte
 	nbit int // total bits written
@@ -60,10 +68,55 @@ func (w *Writer) WriteBits(v uint64, n int) {
 	if n < 0 || n > 64 {
 		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
 	}
+	if n == 0 {
+		return
+	}
 	if n < 64 {
 		v &= (1 << uint(n)) - 1
 	}
-	// Grow the buffer to hold nbit+n bits.
+	hv := v << uint(64-n) // left-aligned: the first bit to land is bit 63
+	if bitIdx := w.nbit & 7; bitIdx != 0 {
+		// Merge the leading bits into the partially filled last byte. If n is
+		// smaller than the room left, the low bits of hv>>56 are zero and the
+		// OR is still exact.
+		take := 8 - bitIdx
+		if take > n {
+			take = n
+		}
+		w.buf[len(w.buf)-1] |= byte(hv>>56) >> uint(bitIdx)
+		hv <<= uint(take)
+		w.nbit += take
+		n -= take
+		if n == 0 {
+			return
+		}
+	}
+	// Destination is now byte-aligned: append whole bytes, then the
+	// zero-padded final partial byte.
+	w.nbit += n
+	if n == 64 {
+		w.buf = binary.BigEndian.AppendUint64(w.buf, hv)
+		return
+	}
+	for n >= 8 {
+		w.buf = append(w.buf, byte(hv>>56))
+		hv <<= 8
+		n -= 8
+	}
+	if n > 0 {
+		w.buf = append(w.buf, byte(hv>>56))
+	}
+}
+
+// writeBitsSlow is the original byte-by-byte WriteBits, retained as the
+// differential-testing oracle for the word-at-a-time path above.
+func (w *Writer) writeBitsSlow(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
+	}
+	if n < 64 {
+		v &= (1 << uint(n)) - 1
+	}
 	need := (w.nbit + n + 7) / 8
 	for len(w.buf) < need {
 		w.buf = append(w.buf, 0)
@@ -73,12 +126,11 @@ func (w *Writer) WriteBits(v uint64, n int) {
 	for n > 0 {
 		byteIdx := pos >> 3
 		bitIdx := pos & 7
-		room := 8 - bitIdx // bits available in current byte
+		room := 8 - bitIdx
 		take := n
 		if take > room {
 			take = room
 		}
-		// Bits to place: the top `take` of the remaining n bits of v.
 		chunk := byte(v >> uint(n-take))
 		chunk &= (1 << uint(take)) - 1
 		w.buf[byteIdx] |= chunk << uint(room-take)
@@ -118,17 +170,46 @@ func (w *Writer) Align(n int) {
 
 // AppendWriter appends the full contents of other to w.
 func (w *Writer) AppendWriter(other *Writer) {
+	if w.nbit&7 == 0 {
+		// Byte-aligned destination: other's buffer is already the exact bit
+		// stream (final byte zero-padded), so a byte copy preserves the
+		// invariant.
+		w.buf = append(w.buf, other.buf...)
+		w.nbit += other.nbit
+		return
+	}
 	r := NewReader(other.Bytes(), other.Len())
-	remaining := other.Len()
-	for remaining >= 64 {
+	w.CopyBits(r, other.Len())
+}
+
+// CopyBits moves n bits from r (consuming them) to the end of w. When both
+// sides are byte-aligned this is a straight byte copy; otherwise it proceeds
+// in 64-bit words.
+func (w *Writer) CopyBits(r *Reader, n int) error {
+	if n < 0 || n > r.Remaining() {
+		return ErrOutOfBits
+	}
+	if r.pos&7 == 0 && w.nbit&7 == 0 {
+		nbytes := n >> 3
+		start := r.pos >> 3
+		w.buf = append(w.buf, r.buf[start:start+nbytes]...)
+		w.nbit += nbytes << 3
+		r.pos += nbytes << 3
+		n &= 7
+	}
+	for n >= 64 {
 		v, _ := r.ReadBits(64)
 		w.WriteBits(v, 64)
-		remaining -= 64
+		n -= 64
 	}
-	if remaining > 0 {
-		v, _ := r.ReadBits(remaining)
-		w.WriteBits(v, remaining)
+	if n > 0 {
+		v, err := r.ReadBits(n)
+		if err != nil {
+			return err
+		}
+		w.WriteBits(v, n)
 	}
+	return nil
 }
 
 // Reader consumes bits from a byte slice, most significant bit first.
@@ -141,13 +222,22 @@ type Reader struct {
 // NewReader returns a Reader over buf exposing exactly nbit bits.
 // If nbit is negative, all of buf (8*len(buf) bits) is exposed.
 func NewReader(buf []byte, nbit int) *Reader {
+	r := new(Reader)
+	r.Init(buf, nbit)
+	return r
+}
+
+// Init (re)initialises r in place to read nbit bits of buf, exactly as
+// NewReader does but without allocating. It lets iterators embed a Reader by
+// value.
+func (r *Reader) Init(buf []byte, nbit int) {
 	if nbit < 0 {
 		nbit = 8 * len(buf)
 	}
 	if nbit > 8*len(buf) {
 		panic(fmt.Sprintf("bitio: NewReader nbit %d exceeds buffer (%d bits)", nbit, 8*len(buf)))
 	}
-	return &Reader{buf: buf, nbit: nbit}
+	r.buf, r.nbit, r.pos = buf, nbit, 0
 }
 
 // Len returns the total number of bits exposed by the reader.
@@ -168,6 +258,74 @@ func (r *Reader) Seek(pos int) error {
 	return nil
 }
 
+// window returns 64 bits starting at the current position, left-aligned (the
+// bit at pos is bit 63 of the result). Bits past the end of the buffer read
+// as zero; bits between nbit and the end of the buffer are NOT masked — use
+// Peek64 for a masked view.
+func (r *Reader) window() uint64 {
+	byteIdx := r.pos >> 3
+	shift := uint(r.pos & 7)
+	if byteIdx+8 <= len(r.buf) {
+		w := binary.BigEndian.Uint64(r.buf[byteIdx:]) << shift
+		if shift != 0 && byteIdx+8 < len(r.buf) {
+			w |= uint64(r.buf[byteIdx+8]) >> (8 - shift)
+		}
+		return w
+	}
+	var w uint64
+	for i, sh := byteIdx, 56; i < len(r.buf); i, sh = i+1, sh-8 {
+		w |= uint64(r.buf[i]) << uint(sh)
+	}
+	return w << shift
+}
+
+// Peek64 returns the next min(64, Remaining()) bits left-aligned (the bit at
+// the current position is bit 63 of the result) without consuming them,
+// together with that count. Bits past the end of the stream read as zero.
+// This is the primitive the gamma/delta fast paths decode from.
+func (r *Reader) Peek64() (uint64, int) {
+	avail := r.nbit - r.pos
+	if avail <= 0 {
+		return 0, 0
+	}
+	if avail > 64 {
+		avail = 64
+	}
+	w := r.window()
+	if avail < 64 {
+		w &= ^uint64(0) << uint(64-avail)
+	}
+	return w, avail
+}
+
+// PeekBits returns the next n bits (0 <= n <= 64) in the low bits of the
+// result without consuming them.
+func (r *Reader) PeekBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bitio: PeekBits width %d out of range", n)
+	}
+	if r.pos+n > r.nbit {
+		return 0, ErrOutOfBits
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	w := r.window()
+	if n < 64 {
+		w >>= uint(64 - n)
+	}
+	return w, nil
+}
+
+// SkipBits advances the reader by n bits.
+func (r *Reader) SkipBits(n int) error {
+	if n < 0 || r.pos+n > r.nbit {
+		return ErrOutOfBits
+	}
+	r.pos += n
+	return nil
+}
+
 // ReadBit reads one bit.
 func (r *Reader) ReadBit() (uint, error) {
 	if r.pos >= r.nbit {
@@ -180,6 +338,26 @@ func (r *Reader) ReadBit() (uint, error) {
 
 // ReadBits reads n bits (0 <= n <= 64) into the low bits of the result.
 func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bitio: ReadBits width %d out of range", n)
+	}
+	if r.pos+n > r.nbit {
+		return 0, ErrOutOfBits
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	w := r.window()
+	r.pos += n
+	if n < 64 {
+		w >>= uint(64 - n)
+	}
+	return w, nil
+}
+
+// readBitsSlow is the original byte-by-byte ReadBits, retained as the
+// differential-testing oracle for the windowed path above.
+func (r *Reader) readBitsSlow(n int) (uint64, error) {
 	if n < 0 || n > 64 {
 		return 0, fmt.Errorf("bitio: ReadBits width %d out of range", n)
 	}
@@ -207,7 +385,33 @@ func (r *Reader) ReadBits(n int) (uint64, error) {
 }
 
 // ReadUnary reads a unary code (count of zeros before the terminating one).
+// It counts leading zeros 64 bits at a time instead of looping per bit.
 func (r *Reader) ReadUnary() (int, error) {
+	n := 0
+	for {
+		w, avail := r.Peek64()
+		if avail == 0 {
+			return 0, ErrOutOfBits
+		}
+		if w == 0 {
+			// The whole window is zeros: consume it and continue. If the
+			// window was short, the stream ended without a terminating one.
+			n += avail
+			r.pos += avail
+			if avail < 64 {
+				return 0, ErrOutOfBits
+			}
+			continue
+		}
+		z := bits.LeadingZeros64(w)
+		r.pos += z + 1
+		return n + z, nil
+	}
+}
+
+// readUnarySlow is the original bit-by-bit ReadUnary, retained as the
+// differential-testing oracle for the CLZ path above.
+func (r *Reader) readUnarySlow() (int, error) {
 	n := 0
 	for {
 		b, err := r.ReadBit()

@@ -4,17 +4,39 @@
 // O(m lg(n/m) + m) bits, within a constant factor of the information bound
 // lg C(n,m), which is what makes the paper's space accounting go through.
 //
+// The gap encoding is canonical — a set has exactly one encoding — and the
+// word-at-a-time fast paths in this package (verbatim tail copies in Union,
+// run-writing in Complement, skip samples for Contains/Rank) never change a
+// bit of it; they only change how it is produced and traversed.
+//
 // The package also provides Plain, an explicit n-bit bitmap, for the
 // constant-alphabet regime where uncompressed bitmap indexes are optimal.
 package cbitmap
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
+	"slices"
 	"sort"
 
 	"repro/internal/bitio"
 	"repro/internal/gamma"
+)
+
+// Skip-sample parameters. While a bitmap is built, every sampleEvery-th
+// element's (position, bit offset past its gap code) is recorded; once the
+// final stream size is known the samples are thinned so their in-memory
+// footprint stays below maxSampleDiv⁻¹ (5%) of the stream. Samples are an
+// in-memory acceleration for Contains/Rank only: they are not part of the
+// encoded stream and never count towards SizeBits.
+const (
+	sampleEvery    = 64  // provisional sampling stride during construction
+	sampleBitsEach = 96  // int64 position + int32 offset per retained sample
+	maxSampleDiv   = 20  // samples may use at most bits/20 = 5%
+	minSampleCard  = 256 // don't bother sampling tiny bitmaps
 )
 
 // Bitmap is an immutable compressed set of positions in [0, Universe()).
@@ -24,12 +46,145 @@ type Bitmap struct {
 	card int64 // number of positions
 	buf  []byte
 	bits int
+	last int64 // largest position, -1 when empty
+
+	// Skip samples: samplePos[i] is the position of element (i+1)*sampleK-1
+	// and sampleOff[i] the bit offset just past its gap code, so point
+	// queries start decoding near the target instead of at bit 0.
+	samplePos []int64
+	sampleOff []int32
+	sampleK   int64
+}
+
+// Builder incrementally constructs a Bitmap from strictly increasing
+// positions, recording skip samples as it goes. It is the single encoding
+// path used by every constructor and set operation in this package.
+type Builder struct {
+	w         *bitio.Writer
+	prev      int64
+	card      int64
+	samplePos []int64
+	sampleOff []int32
+	// noSamples is set once a bulk append skips over elements without
+	// visiting them: the uniform element-index spacing that iterFrom/Rank
+	// rely on can then no longer be maintained, so sampling stops (samples
+	// already collected cover the prefix and stay valid).
+	noSamples bool
+}
+
+// NewBuilder returns a Builder with capacity for sizeHint bits of stream.
+func NewBuilder(sizeHint int) *Builder {
+	return &Builder{w: bitio.NewWriter(sizeHint), prev: -1}
+}
+
+func (bd *Builder) maybeSample() {
+	if !bd.noSamples && bd.card%sampleEvery == 0 && bd.w.Len() <= math.MaxInt32 {
+		bd.samplePos = append(bd.samplePos, bd.prev)
+		bd.sampleOff = append(bd.sampleOff, int32(bd.w.Len()))
+	}
+}
+
+// Add appends position p, which must exceed every position added so far.
+func (bd *Builder) Add(p int64) {
+	if p <= bd.prev {
+		panic(fmt.Sprintf("cbitmap: Builder.Add position %d not above %d", p, bd.prev))
+	}
+	gamma.Write(bd.w, uint64(p-bd.prev))
+	bd.prev = p
+	bd.card++
+	bd.maybeSample()
+}
+
+// AddRun appends count consecutive positions start, start+1, ....
+// A gap of 1 is the single-bit gamma code "1", so after the first element the
+// run is written as whole words of ones instead of count-1 encode calls.
+func (bd *Builder) AddRun(start, count int64) {
+	if count <= 0 {
+		return
+	}
+	bd.Add(start)
+	count--
+	for count > 0 {
+		chunk := sampleEvery - bd.card%sampleEvery // stop at sample boundaries
+		if chunk > count {
+			chunk = count
+		}
+		bd.w.WriteBits(^uint64(0), int(chunk))
+		bd.prev += chunk
+		bd.card += chunk
+		bd.maybeSample()
+		count -= chunk
+	}
+}
+
+// AppendBitmap appends every position of other, whose minimum must exceed
+// every position added so far. The first gap is re-encoded (it is relative to
+// the builder's last position); the rest of other's stream is gap-relative
+// within other and is copied verbatim, whole words at a time.
+func (bd *Builder) AppendBitmap(other *Bitmap) {
+	it := other.Iter()
+	if p0, ok := it.Next(); ok {
+		bd.drainIter(p0, &it, other)
+	}
+}
+
+// drainIter appends a pending head position and the untouched remainder of
+// its iterator's stream verbatim (see AppendBitmap); src is the bitmap the
+// iterator reads from. Equal head positions are deduplicated.
+func (bd *Builder) drainIter(cur int64, it *Iter, src *Bitmap) {
+	if cur != bd.prev {
+		bd.Add(cur)
+	}
+	bd.w.CopyBits(&it.r, it.r.Remaining())
+	bd.card += it.left
+	if src.last > bd.prev {
+		bd.prev = src.last
+	}
+	if it.left > 0 {
+		bd.noSamples = true
+	}
+}
+
+// Bitmap finalises the builder into an immutable bitmap over [0,n).
+func (bd *Builder) Bitmap(n int64) *Bitmap {
+	b := &Bitmap{n: n, card: bd.card, buf: bd.w.Bytes(), bits: bd.w.Len(), last: bd.prev}
+	if bd.card == 0 {
+		b.last = -1
+	}
+	b.attachSamples(bd.samplePos, bd.sampleOff)
+	return b
+}
+
+// attachSamples thins the provisional every-sampleEvery-th samples to a
+// uniform stride whose footprint is at most bits/maxSampleDiv, then attaches
+// them.
+func (b *Bitmap) attachSamples(pos []int64, off []int32) {
+	if len(pos) == 0 || b.card < minSampleCard {
+		return
+	}
+	budget := b.bits / maxSampleDiv / sampleBitsEach // samples we may keep
+	if budget == 0 {
+		return
+	}
+	t := (len(pos) + budget - 1) / budget
+	if t == 1 {
+		b.samplePos, b.sampleOff, b.sampleK = pos, off, sampleEvery
+		return
+	}
+	keep := len(pos) / t
+	b.samplePos = make([]int64, 0, keep)
+	b.sampleOff = make([]int32, 0, keep)
+	for i := t - 1; i < len(pos); i += t {
+		b.samplePos = append(b.samplePos, pos[i])
+		b.sampleOff = append(b.sampleOff, off[i])
+	}
+	b.sampleK = int64(sampleEvery) * int64(t)
 }
 
 // FromPositions builds a bitmap over [0,n) from a strictly increasing
 // position slice.
 func FromPositions(n int64, pos []int64) (*Bitmap, error) {
-	w := bitio.NewWriter(4 * len(pos))
+	bd := NewBuilder(4 * len(pos))
 	prev := int64(-1)
 	for i, p := range pos {
 		if p <= prev {
@@ -38,10 +193,10 @@ func FromPositions(n int64, pos []int64) (*Bitmap, error) {
 		if p < 0 || p >= n {
 			return nil, fmt.Errorf("cbitmap: position %d outside universe [0,%d)", p, n)
 		}
-		gamma.Write(w, uint64(p-prev)) // gap >= 1
+		bd.Add(p)
 		prev = p
 	}
-	return &Bitmap{n: n, card: int64(len(pos)), buf: w.Bytes(), bits: w.Len()}, nil
+	return bd.Bitmap(n), nil
 }
 
 // MustFromPositions is FromPositions for known-good inputs (tests, builders).
@@ -56,19 +211,13 @@ func MustFromPositions(n int64, pos []int64) *Bitmap {
 // FromUnsorted builds a bitmap from positions in any order; duplicates are
 // removed.
 func FromUnsorted(n int64, pos []int64) (*Bitmap, error) {
-	sorted := append([]int64(nil), pos...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	dedup := sorted[:0]
-	for i, p := range sorted {
-		if i == 0 || p != sorted[i-1] {
-			dedup = append(dedup, p)
-		}
-	}
-	return FromPositions(n, dedup)
+	sorted := slices.Clone(pos)
+	slices.Sort(sorted)
+	return FromPositions(n, slices.Compact(sorted))
 }
 
 // Empty returns the empty bitmap over [0,n).
-func Empty(n int64) *Bitmap { return &Bitmap{n: n} }
+func Empty(n int64) *Bitmap { return &Bitmap{n: n, last: -1} }
 
 // Universe returns the universe size n.
 func (b *Bitmap) Universe() int64 { return b.n }
@@ -79,68 +228,94 @@ func (b *Bitmap) Card() int64 { return b.card }
 // SizeBits returns the size of the compressed representation in bits.
 func (b *Bitmap) SizeBits() int { return b.bits }
 
+// SampleBits returns the in-memory size of the optional skip samples in bits.
+// Samples accelerate Contains/Rank but are not part of the encoded stream and
+// do not count towards SizeBits (the paper's space accounting).
+func (b *Bitmap) SampleBits() int { return len(b.samplePos) * sampleBitsEach }
+
 // EncodeTo appends the raw encoded stream (gaps only; the caller must record
 // cardinality and universe out of band, as the paper's layouts do via node
 // weights).
 func (b *Bitmap) EncodeTo(w *bitio.Writer) {
-	r := bitio.NewReader(b.buf, b.bits)
-	for r.Remaining() >= 64 {
-		v, _ := r.ReadBits(64)
-		w.WriteBits(v, 64)
-	}
-	if rem := r.Remaining(); rem > 0 {
-		v, _ := r.ReadBits(rem)
-		w.WriteBits(v, rem)
-	}
+	var r bitio.Reader
+	r.Init(b.buf, b.bits)
+	w.CopyBits(&r, b.bits)
 }
 
 // Decode reads card gamma-coded gaps from r, reconstructing a bitmap over
 // [0,n). This is how bitmaps are read back from disk: the stored stream
-// carries no header, cardinality comes from the node weight.
+// carries no header, cardinality comes from the node weight. Skip samples are
+// collected during the validation scan, and the stream bits are then copied
+// whole words at a time.
 func Decode(r *bitio.Reader, card, n int64) (*Bitmap, error) {
-	w := bitio.NewWriter(0)
 	prev := int64(-1)
 	start := r.Pos()
+	var samplePos []int64
+	var sampleOff []int32
 	for i := int64(0); i < card; i++ {
 		g, err := gamma.Read(r)
 		if err != nil {
 			return nil, fmt.Errorf("cbitmap: decode gap %d/%d: %w", i, card, err)
 		}
 		p := prev + int64(g)
-		if p >= n {
+		if p <= prev || p >= n {
+			// p <= prev catches int64 wrap-around from huge corrupt gaps
+			// (g >= 2^63, or prev+g overflowing) as well as zero gaps.
 			return nil, fmt.Errorf("cbitmap: decoded position %d outside universe [0,%d)", p, n)
 		}
 		prev = p
+		if (i+1)%sampleEvery == 0 && r.Pos()-start <= math.MaxInt32 {
+			samplePos = append(samplePos, p)
+			sampleOff = append(sampleOff, int32(r.Pos()-start))
+		}
 	}
 	bits := r.Pos() - start
 	if err := r.Seek(start); err != nil {
 		return nil, err
 	}
-	for rem := bits; rem > 0; {
-		n := rem
-		if n > 64 {
-			n = 64
-		}
-		v, err := r.ReadBits(n)
-		if err != nil {
-			return nil, err
-		}
-		w.WriteBits(v, n)
-		rem -= n
+	w := bitio.NewWriter(bits)
+	if err := w.CopyBits(r, bits); err != nil {
+		return nil, err
 	}
-	return &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+	b := &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len(), last: prev}
+	b.attachSamples(samplePos, sampleOff)
+	return b, nil
 }
 
-// Iter iterates positions in increasing order.
+// Iter iterates positions in increasing order. It is a value type holding
+// its reader inline, so obtaining and running an iterator allocates nothing.
 type Iter struct {
-	r    *bitio.Reader
+	r    bitio.Reader
 	left int64
 	prev int64
 }
 
 // Iter returns an iterator over the set.
-func (b *Bitmap) Iter() *Iter {
-	return &Iter{r: bitio.NewReader(b.buf, b.bits), left: b.card, prev: -1}
+func (b *Bitmap) Iter() Iter {
+	var it Iter
+	it.r.Init(b.buf, b.bits)
+	it.left = b.card
+	it.prev = -1
+	return it
+}
+
+// iterFrom returns an iterator positioned at the latest skip sample strictly
+// before pos (or at the start when there is none), so a forward scan reaches
+// pos after at most sampleK decodes.
+func (b *Bitmap) iterFrom(pos int64) Iter {
+	it := b.Iter()
+	if len(b.samplePos) == 0 || pos <= b.samplePos[0] {
+		return it
+	}
+	j := sort.Search(len(b.samplePos), func(i int) bool { return b.samplePos[i] >= pos })
+	if j == 0 {
+		return it
+	}
+	s := j - 1
+	it.prev = b.samplePos[s]
+	it.left = b.card - int64(s+1)*b.sampleK
+	it.r.Seek(int(b.sampleOff[s]))
+	return it
 }
 
 // Next returns the next position, or ok=false when exhausted.
@@ -148,7 +323,21 @@ func (it *Iter) Next() (pos int64, ok bool) {
 	if it.left == 0 {
 		return 0, false
 	}
-	g, err := gamma.Read(it.r)
+	// Gamma fast path open-coded from gamma.Read: one peeked window decodes
+	// the whole gap code in the common case. gamma.Read is too large for the
+	// compiler to inline, and this copy is worth ~8% on BenchmarkBitmapUnion;
+	// the differential fuzz targets in gamma and this package pin both copies
+	// to the same bit-exact behaviour.
+	if w, avail := it.r.Peek64(); w != 0 {
+		z := bits.LeadingZeros64(w)
+		if total := 2*z + 1; total <= avail {
+			it.r.SkipBits(total)
+			it.left--
+			it.prev += int64(w >> uint(64-total))
+			return it.prev, true
+		}
+	}
+	g, err := gamma.Read(&it.r)
 	if err != nil {
 		// Corrupt stream: surface as exhaustion; builders validate on entry.
 		it.left = 0
@@ -169,19 +358,41 @@ func (b *Bitmap) Positions() []int64 {
 	return out
 }
 
-// Contains reports whether pos is in the set (linear scan; the compressed
-// representation is not meant for random membership).
+// Contains reports whether pos is in the set. With skip samples the scan
+// starts at the nearest preceding sample instead of bit 0, so membership
+// costs O(sampleK) decodes plus a binary search rather than a scan of the
+// whole prefix.
 func (b *Bitmap) Contains(pos int64) bool {
-	it := b.Iter()
+	if b.card == 0 || pos > b.last {
+		return false
+	}
+	it := b.iterFrom(pos)
 	for p, ok := it.Next(); ok; p, ok = it.Next() {
-		if p == pos {
-			return true
-		}
-		if p > pos {
-			return false
+		if p >= pos {
+			return p == pos
 		}
 	}
 	return false
+}
+
+// Rank returns the number of set positions strictly below pos, jumping to
+// the nearest preceding skip sample like Contains.
+func (b *Bitmap) Rank(pos int64) int64 {
+	if b.card == 0 {
+		return 0
+	}
+	if pos > b.last {
+		return b.card
+	}
+	it := b.iterFrom(pos)
+	rank := b.card - it.left // samples skipped are all below pos
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		if p >= pos {
+			break
+		}
+		rank++
+	}
+	return rank
 }
 
 // ErrUniverseMismatch reports set algebra over different universes.
@@ -189,6 +400,8 @@ var ErrUniverseMismatch = errors.New("cbitmap: universe size mismatch")
 
 // Union returns the union of the given bitmaps (k-way merge in one pass, as
 // the paper's query algorithm computes the union of the cover's bitmaps).
+// Once a single input remains its tail is copied verbatim, whole words at a
+// time, instead of being decoded and re-encoded.
 func Union(ms ...*Bitmap) (*Bitmap, error) {
 	var n int64
 	for _, m := range ms {
@@ -202,23 +415,22 @@ func Union(ms ...*Bitmap) (*Bitmap, error) {
 		}
 	}
 	type head struct {
-		it  *Iter
+		it  Iter
+		src *Bitmap
 		cur int64
 	}
 	heads := make([]head, 0, len(ms))
 	for _, m := range ms {
 		it := m.Iter()
 		if p, ok := it.Next(); ok {
-			heads = append(heads, head{it, p})
+			heads = append(heads, head{it, m, p})
 		}
 	}
-	w := bitio.NewWriter(0)
-	prev := int64(-1)
-	var card int64
+	bd := NewBuilder(0)
 	if len(heads) <= 8 {
 		// Small covers (the common case: O(1) bitmaps per tree level):
 		// a linear minimum scan beats heap bookkeeping.
-		for len(heads) > 0 {
+		for len(heads) > 1 {
 			mi := 0
 			for i := 1; i < len(heads); i++ {
 				if heads[i].cur < heads[mi].cur {
@@ -226,10 +438,8 @@ func Union(ms ...*Bitmap) (*Bitmap, error) {
 				}
 			}
 			p := heads[mi].cur
-			if p != prev { // dedupe
-				gamma.Write(w, uint64(p-prev))
-				prev = p
-				card++
+			if p != bd.prev { // dedupe
+				bd.Add(p)
 			}
 			if np, ok := heads[mi].it.Next(); ok {
 				heads[mi].cur = np
@@ -238,7 +448,10 @@ func Union(ms ...*Bitmap) (*Bitmap, error) {
 				heads = heads[:len(heads)-1]
 			}
 		}
-		return &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+		if len(heads) == 1 {
+			bd.drainIter(heads[0].cur, &heads[0].it, heads[0].src)
+		}
+		return bd.Bitmap(n), nil
 	}
 	// Large fan-in: binary min-heap on the head positions.
 	less := func(i, j int) bool { return heads[i].cur < heads[j].cur }
@@ -262,12 +475,10 @@ func Union(ms ...*Bitmap) (*Bitmap, error) {
 	for i := len(heads)/2 - 1; i >= 0; i-- {
 		siftDown(i)
 	}
-	for len(heads) > 0 {
+	for len(heads) > 1 {
 		p := heads[0].cur
-		if p != prev {
-			gamma.Write(w, uint64(p-prev))
-			prev = p
-			card++
+		if p != bd.prev {
+			bd.Add(p)
 		}
 		if np, ok := heads[0].it.Next(); ok {
 			heads[0].cur = np
@@ -277,7 +488,10 @@ func Union(ms ...*Bitmap) (*Bitmap, error) {
 		}
 		siftDown(0)
 	}
-	return &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+	if len(heads) == 1 {
+		bd.drainIter(heads[0].cur, &heads[0].it, heads[0].src)
+	}
+	return bd.Bitmap(n), nil
 }
 
 // Intersect returns the intersection of a and b.
@@ -289,9 +503,7 @@ func Intersect(a, b *Bitmap) (*Bitmap, error) {
 	if b.n > n {
 		n = b.n
 	}
-	w := bitio.NewWriter(0)
-	prev := int64(-1)
-	var card int64
+	bd := NewBuilder(0)
 	ia, ib := a.Iter(), b.Iter()
 	pa, oka := ia.Next()
 	pb, okb := ib.Next()
@@ -302,14 +514,12 @@ func Intersect(a, b *Bitmap) (*Bitmap, error) {
 		case pb < pa:
 			pb, okb = ib.Next()
 		default:
-			gamma.Write(w, uint64(pa-prev))
-			prev = pa
-			card++
+			bd.Add(pa)
 			pa, oka = ia.Next()
 			pb, okb = ib.Next()
 		}
 	}
-	return &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+	return bd.Bitmap(n), nil
 }
 
 // Difference returns a \ b.
@@ -317,9 +527,7 @@ func Difference(a, b *Bitmap) (*Bitmap, error) {
 	if a.n != b.n && a.card > 0 && b.card > 0 {
 		return nil, ErrUniverseMismatch
 	}
-	w := bitio.NewWriter(0)
-	prev := int64(-1)
-	var card int64
+	bd := NewBuilder(0)
 	ia, ib := a.Iter(), b.Iter()
 	pa, oka := ia.Next()
 	pb, okb := ib.Next()
@@ -328,54 +536,38 @@ func Difference(a, b *Bitmap) (*Bitmap, error) {
 			pb, okb = ib.Next()
 		}
 		if !okb || pb != pa {
-			gamma.Write(w, uint64(pa-prev))
-			prev = pa
-			card++
+			bd.Add(pa)
 		}
 		pa, oka = ia.Next()
 	}
-	return &Bitmap{n: a.n, card: card, buf: w.Bytes(), bits: w.Len()}, nil
+	return bd.Bitmap(a.n), nil
 }
 
 // Complement returns [0,n) \ b. This realises the paper's dense-answer trick:
-// when z > n/2 the query returns the complement of two sparse queries.
+// when z > n/2 the query returns the complement of two sparse queries. Runs
+// of consecutive absent positions become runs of single-bit gap-1 codes,
+// written whole words at a time by AddRun.
 func (b *Bitmap) Complement() *Bitmap {
-	w := bitio.NewWriter(0)
-	prev := int64(-1)
-	var card int64
+	bd := NewBuilder(0)
 	next := int64(0)
 	it := b.Iter()
 	for p, ok := it.Next(); ok; p, ok = it.Next() {
-		for ; next < p; next++ {
-			gamma.Write(w, uint64(next-prev))
-			prev = next
-			card++
+		if next < p {
+			bd.AddRun(next, p-next)
 		}
 		next = p + 1
 	}
-	for ; next < b.n; next++ {
-		gamma.Write(w, uint64(next-prev))
-		prev = next
-		card++
+	if next < b.n {
+		bd.AddRun(next, b.n-next)
 	}
-	return &Bitmap{n: b.n, card: card, buf: w.Bytes(), bits: w.Len()}
+	return bd.Bitmap(b.n)
 }
 
 // Equal reports whether a and b contain the same positions over the same
-// universe.
+// universe. The gap encoding is canonical (each set has exactly one encoded
+// stream, zero-padded to the byte), so this is a byte comparison rather than
+// a double decode.
 func Equal(a, b *Bitmap) bool {
-	if a.n != b.n || a.card != b.card {
-		return false
-	}
-	ia, ib := a.Iter(), b.Iter()
-	for {
-		pa, oka := ia.Next()
-		pb, okb := ib.Next()
-		if oka != okb || pa != pb {
-			return false
-		}
-		if !oka {
-			return true
-		}
-	}
+	return a.n == b.n && a.card == b.card && a.bits == b.bits &&
+		bytes.Equal(a.buf, b.buf)
 }

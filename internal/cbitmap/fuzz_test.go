@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/bitio"
+	"repro/internal/gamma"
 )
 
 // FuzzDecodeArbitrary: decoding arbitrary bytes with arbitrary claimed
@@ -31,6 +32,180 @@ func FuzzDecodeArbitrary(f *testing.F) {
 			prev = p
 		}
 	})
+}
+
+// FuzzSamplesAndStreams: for arbitrary inputs, (1) the skip-sample
+// Contains/Rank agree with a linear scan over Positions, (2) Union's verbatim
+// tail copy and Complement's run writer produce byte-identical streams to
+// element-by-element re-encoding, and (3) samples stay within their 5% size
+// budget.
+func FuzzSamplesAndStreams(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200}, []byte{2, 90}, uint16(1000))
+	f.Add([]byte{}, []byte{0}, uint16(4))
+	f.Add([]byte{0xff, 0xfe, 0xfd}, []byte{}, uint16(300))
+	f.Fuzz(func(t *testing.T, araw, braw []byte, n16 uint16) {
+		n := int64(n16) + 256
+		toPos := func(raw []byte) []int64 {
+			out := make([]int64, 0, len(raw))
+			for i, v := range raw {
+				out = append(out, (int64(v)*7+int64(i))%n)
+			}
+			return out
+		}
+		a, err1 := FromUnsorted(n, toPos(araw))
+		b, err2 := FromUnsorted(n, toPos(braw))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("build: %v %v", err1, err2)
+		}
+		u, err := Union(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Union's drained tail must be byte-identical to naive re-encoding.
+		naive, err := FromUnsorted(n, append(a.Positions(), b.Positions()...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(u, naive) || u.bits != naive.bits {
+			t.Fatalf("union stream differs from re-encoded: %d vs %d bits", u.bits, naive.bits)
+		}
+		// Complement's run writer likewise.
+		comp := a.Complement()
+		var compPos []int64
+		has := make(map[int64]bool, a.Card())
+		for _, p := range a.Positions() {
+			has[p] = true
+		}
+		for p := int64(0); p < n; p++ {
+			if !has[p] {
+				compPos = append(compPos, p)
+			}
+		}
+		naiveComp := MustFromPositions(n, compPos)
+		if !Equal(comp, naiveComp) {
+			t.Fatal("complement stream differs from re-encoded")
+		}
+		// Contains/Rank vs linear ground truth, probing members and gaps.
+		for _, bm := range []*Bitmap{a, u, comp} {
+			pos := bm.Positions()
+			member := make(map[int64]bool, len(pos))
+			for _, p := range pos {
+				member[p] = true
+			}
+			var rank int64
+			pi := 0
+			for q := int64(0); q < n; q += 1 + n/257 {
+				for pi < len(pos) && pos[pi] < q {
+					pi++
+				}
+				rank = int64(pi)
+				if got := bm.Contains(q); got != member[q] {
+					t.Fatalf("Contains(%d) = %v, want %v", q, got, member[q])
+				}
+				if got := bm.Rank(q); got != rank {
+					t.Fatalf("Rank(%d) = %d, want %d", q, got, rank)
+				}
+			}
+			if bm.SizeBits() > 0 && bm.SampleBits()*maxSampleDiv > bm.SizeBits() {
+				t.Fatalf("sample overhead %d bits exceeds %d/%d stream bits", bm.SampleBits(), bm.SizeBits(), maxSampleDiv)
+			}
+		}
+	})
+}
+
+// TestSkipSamplesLargeBitmap pins the sample machinery on a bitmap big
+// enough to retain samples after thinning: every element and a band of
+// absent positions answer Contains/Rank correctly, and the overhead budget
+// holds.
+func TestSkipSamplesLargeBitmap(t *testing.T) {
+	n := int64(1 << 22)
+	pos := make([]int64, 0, 1<<16)
+	for p := int64(17); p < n && len(pos) < 1<<16; p += 61 {
+		pos = append(pos, p)
+	}
+	bm := MustFromPositions(n, pos)
+	if bm.SampleBits() == 0 {
+		t.Fatal("expected skip samples on a large bitmap")
+	}
+	if bm.SampleBits()*maxSampleDiv > bm.SizeBits() {
+		t.Fatalf("sample overhead %d bits exceeds 1/%d of %d", bm.SampleBits(), maxSampleDiv, bm.SizeBits())
+	}
+	for i, p := range pos {
+		if !bm.Contains(p) {
+			t.Fatalf("Contains(%d) = false for member %d", p, i)
+		}
+		if got := bm.Rank(p); got != int64(i) {
+			t.Fatalf("Rank(%d) = %d, want %d", p, got, i)
+		}
+	}
+	for _, q := range []int64{0, 16, 18, 1 << 21, n - 1} {
+		if bm.Contains(q) != (q >= 17 && (q-17)%61 == 0 && q < 17+61*int64(len(pos))) {
+			t.Fatalf("Contains(%d) wrong", q)
+		}
+	}
+	if got := bm.Rank(n); got != bm.Card() {
+		t.Fatalf("Rank(n) = %d, want %d", got, bm.Card())
+	}
+}
+
+// TestBuilderAppendBitmapSamples: sampling stops after a bulk append skips
+// elements, so later Adds cannot record misaligned samples that would
+// corrupt Rank (regression: Rank once returned 128 where 768 was correct).
+func TestBuilderAppendBitmapSamples(t *testing.T) {
+	n := int64(1 << 22)
+	bd := NewBuilder(0)
+	p := int64(0)
+	for i := 0; i < 64; i++ {
+		bd.Add(p)
+		p += 3
+	}
+	mid := make([]int64, 640)
+	for i := range mid {
+		mid[i] = p + int64(i)*5
+	}
+	bd.AppendBitmap(MustFromPositions(n, mid))
+	p = mid[len(mid)-1]
+	for i := 0; i < 164; i++ {
+		p += 7
+		bd.Add(p)
+	}
+	bm := bd.Bitmap(n)
+	pos := bm.Positions()
+	for i, q := range pos {
+		if got := bm.Rank(q); got != int64(i) {
+			t.Fatalf("Rank(%d) = %d, want %d", q, got, i)
+		}
+		if !bm.Contains(q) {
+			t.Fatalf("Contains(%d) = false", q)
+		}
+	}
+	if got := bm.Rank(n); got != bm.Card() {
+		t.Fatalf("Rank(n) = %d, want %d", got, bm.Card())
+	}
+}
+
+// TestDecodeRejectsOverflowGap: a crafted stream whose gamma gap is >= 2^63
+// must be rejected, not wrapped into a negative position.
+func TestDecodeRejectsOverflowGap(t *testing.T) {
+	w := bitio.NewWriter(0)
+	w.WriteBits(0, 63) // unary prefix: 63 zeros
+	w.WriteBits(1, 1)  // terminator: value has 64 significant bits
+	w.WriteBits(0, 63) // remainder bits: value = 2^63
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	if bm, err := Decode(r, 1, 1<<40); err == nil {
+		t.Fatalf("Decode accepted overflowing gap: card=%d last-pos bitmap %+v", bm.Card(), bm.Positions())
+	}
+
+	// Accumulated wrap: a first gap sets prev = 2^46, then a gap of
+	// 2^63 - 2^46 keeps int64(g) positive but overflows prev + int64(g)
+	// to a negative position.
+	w2 := bitio.NewWriter(0)
+	gamma.Write(w2, 1<<46+1)       // prev = 2^46
+	gamma.Write(w2, 1<<63-(1<<46)) // wraps prev + int64(g) negative
+	r2 := bitio.NewReader(w2.Bytes(), w2.Len())
+	if bm, err := Decode(r2, 2, 1<<47); err == nil {
+		t.Fatalf("Decode accepted wrapping gap pair: positions %v", bm.Positions())
+	}
 }
 
 // FuzzAlgebraLaws: |A∪B| + |A∩B| = |A| + |B| and De Morgan-ish complement

@@ -1,10 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/bitio"
 	"repro/internal/cbitmap"
@@ -256,8 +257,8 @@ func Intersect(rs ...*Result) (*Result, error) {
 	// General path: enumerate the cheapest result's candidates and test the
 	// rest; the output is exact with respect to the input supersets.
 	sorted := append([]*Result(nil), rs...)
-	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].CandidateCount() < sorted[j].CandidateCount()
+	slices.SortFunc(sorted, func(a, b *Result) int {
+		return cmp.Compare(a.CandidateCount(), b.CandidateCount())
 	})
 	members := make([]func(int64) bool, len(sorted)-1)
 	for i, r := range sorted[1:] {

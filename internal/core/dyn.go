@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/bitio"
@@ -256,7 +258,7 @@ func (ax *AppendIndex) rebuildAll(tc *iomodel.Touch) {
 		ax.levels[li] = append(ax.levels[li], m)
 	}
 	for li := range ax.levels {
-		sort.Slice(ax.levels[li], func(i, j int) bool { return ax.levels[li][i].node.lo < ax.levels[li][j].node.lo })
+		slices.SortFunc(ax.levels[li], func(a, b *dynMember) int { return cmp.Compare(a.node.lo, b.node.lo) })
 		for _, m := range ax.levels[li] {
 			ax.writeMemberChain(tc, m)
 		}
@@ -316,7 +318,7 @@ func (ax *AppendIndex) positions(lo, hi uint32) []int64 {
 	for a := lo; a <= hi; a++ {
 		out = append(out, ax.byChar[a]...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

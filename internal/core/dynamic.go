@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/cbitmap"
@@ -146,7 +148,7 @@ func (dx *Dynamic) rebuild() error {
 	}
 	dx.points = dx.points[:0]
 	for li := range dx.members {
-		sort.Slice(dx.members[li], func(i, j int) bool { return dx.members[li][i].lo < dx.members[li][j].lo })
+		slices.SortFunc(dx.members[li], func(a, b dynBin) int { return cmp.Compare(a.lo, b.lo) })
 		// One bin per member; bin index = position in the sorted slice.
 		px, err := NewPointIndex(dx.disk, len(dx.members[li]), dx.opts.PointBranching)
 		if err != nil {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bitio"
@@ -399,7 +401,7 @@ func (px *PointIndex) applyLeafBatch(tc *iomodel.Touch, parent *pnode, ci int, b
 	others := make(map[uint32][]pentry)
 	// Entries must be applied in arrival order (seq): a delete after an
 	// insert of the same position must win.
-	sort.SliceStable(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	slices.SortStableFunc(batch, func(a, b pentry) int { return cmp.Compare(a.seq, b.seq) })
 	for _, e := range batch {
 		if e.ch != leaf.ch {
 			others[e.ch] = append(others[e.ch], e)
@@ -415,7 +417,7 @@ func (px *PointIndex) applyLeafBatch(tc *iomodel.Touch, parent *pnode, ci int, b
 	for p := range set {
 		merged = append(merged, p)
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	slices.Sort(merged)
 
 	var repl []*pnode
 	if len(merged) > 0 || len(others) == 0 {
@@ -450,11 +452,11 @@ func (px *PointIndex) applyLeafBatch(tc *iomodel.Touch, parent *pnode, ci int, b
 	for ch := range others {
 		newChars = append(newChars, ch)
 	}
-	sort.Slice(newChars, func(i, j int) bool { return newChars[i] < newChars[j] })
+	slices.Sort(newChars)
 	for _, ch := range newChars {
 		set := make(map[int64]struct{})
 		es := others[ch]
-		sort.SliceStable(es, func(i, j int) bool { return es[i].seq < es[j].seq })
+		slices.SortStableFunc(es, func(a, b pentry) int { return cmp.Compare(a.seq, b.seq) })
 		for _, e := range es {
 			if e.del {
 				delete(set, e.pos)
@@ -469,7 +471,7 @@ func (px *PointIndex) applyLeafBatch(tc *iomodel.Touch, parent *pnode, ci int, b
 		for p := range set {
 			ps = append(ps, p)
 		}
-		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		slices.Sort(ps)
 		ls := px.encodeLeaves(tc, ch, ps)
 		px.nLeaves += len(ls)
 		px.nNodes += len(ls)
@@ -484,7 +486,15 @@ func (px *PointIndex) applyLeafBatch(tc *iomodel.Touch, parent *pnode, ci int, b
 		px.nNodes++
 		repl = []*pnode{leaf}
 	}
-	sort.Slice(repl, func(i, j int) bool { return repl[i].min.less(repl[j].min) })
+	slices.SortFunc(repl, func(a, b *pnode) int {
+		if a.min.less(b.min) {
+			return -1
+		}
+		if b.min.less(a.min) {
+			return 1
+		}
+		return 0
+	})
 	kids := make([]*pnode, 0, len(parent.kids)-1+len(repl))
 	kids = append(kids, parent.kids[:ci]...)
 	kids = append(kids, repl...)
@@ -611,7 +621,7 @@ func (px *PointIndex) PointQuery(ch uint32) (*cbitmap.Bitmap, index.QueryStats, 
 			pending = append(pending, e)
 		}
 	}
-	sort.SliceStable(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
+	slices.SortStableFunc(pending, func(a, b pentry) int { return cmp.Compare(a.seq, b.seq) })
 	for _, e := range pending {
 		if e.del {
 			delete(set, e.pos)
@@ -623,7 +633,7 @@ func (px *PointIndex) PointQuery(ch uint32) (*cbitmap.Bitmap, index.QueryStats, 
 	for p := range set {
 		pos = append(pos, p)
 	}
-	sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+	slices.Sort(pos)
 	var maxPos int64 = 1 << 47
 	bm, err := cbitmap.FromPositions(maxPos, pos)
 	if err != nil {
@@ -698,7 +708,15 @@ func (px *PointIndex) flushAll(tc *iomodel.Touch, nd *pnode, batch []pentry) err
 	for ci, g := range groups {
 		jobs = append(jobs, job{nd.kids[ci], g})
 	}
-	sort.Slice(jobs, func(i, j int) bool { return jobs[i].child.min.less(jobs[j].child.min) })
+	slices.SortFunc(jobs, func(a, b job) int {
+		if a.child.min.less(b.child.min) {
+			return -1
+		}
+		if b.child.min.less(a.child.min) {
+			return 1
+		}
+		return 0
+	})
 	for _, j := range jobs {
 		if j.child.leaf {
 			// Find the child's current index.

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/workload"
@@ -145,7 +146,7 @@ func (t *Tree) Positions(start, end int64) []int64 {
 		}
 		out = append(out, t.byChar[a][lo-t.prefix[a]:hi-t.prefix[a]]...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -24,18 +24,48 @@ func Len(v uint64) int {
 }
 
 // Write appends the gamma code of v (v >= 1) to w.
+//
+// Fast path: a gamma code of total length 2n-1 <= 64 read as an integer is
+// exactly v (n-1 leading zeros, then v's n significant bits, whose leading 1
+// doubles as the unary terminator), so it is a single WriteBits call.
 func Write(w *bitio.Writer, v uint64) {
 	if v == 0 {
 		panic("gamma: Write of 0")
 	}
 	n := bits.Len64(v) // number of significant bits
+	if total := 2*n - 1; total <= 64 {
+		w.WriteBits(v, total)
+		return
+	}
 	w.WriteUnary(n - 1)
 	// The leading 1 of v is implied by the unary prefix; write remaining n-1 bits.
 	w.WriteBits(v, n-1)
 }
 
 // Read decodes one gamma code from r.
+//
+// Fast path: the whole code (unary prefix, implied leading one, and
+// remainder) is decoded from a single 64-bit peek window. A gamma code of
+// 2z+1 bits read as an integer is exactly its value (z zeros, a one, then the
+// low bits), so one CLZ, one shift, and one skip decode it. Codes that do not
+// fit the window (values >= 2^32 or a window truncated by the end of the
+// stream) fall back to the bit-exact slow path.
 func Read(r *bitio.Reader) (uint64, error) {
+	w, avail := r.Peek64()
+	if w != 0 {
+		z := bits.LeadingZeros64(w)
+		if total := 2*z + 1; total <= avail {
+			r.SkipBits(total)
+			return w >> uint(64-total), nil
+		}
+	}
+	return readSlow(r)
+}
+
+// readSlow decodes a gamma code through the unary/ReadBits primitives. It is
+// the fallback for codes longer than the peek window and the
+// differential-test oracle for the windowed fast path.
+func readSlow(r *bitio.Reader) (uint64, error) {
 	n, err := r.ReadUnary()
 	if err != nil {
 		return 0, err
@@ -71,8 +101,35 @@ func WriteDelta(w *bitio.Writer, v uint64) {
 }
 
 // ReadDelta decodes one delta code from r.
+//
+// Fast path: the gamma-coded length field and the value's remainder bits are
+// both extracted from one 64-bit peek window; codes whose total length
+// exceeds the window fall back to the slow path.
 func ReadDelta(r *bitio.Reader) (uint64, error) {
-	n64, err := Read(r)
+	w, avail := r.Peek64()
+	if w != 0 {
+		z := bits.LeadingZeros64(w)
+		gl := 2*z + 1 // bits in the gamma code of the length field
+		if z <= 6 && gl <= avail {
+			n := int(w >> uint(64-gl)) // bit length of the value, in [1,127]
+			if total := gl + n - 1; n <= 64 && total <= avail {
+				var rest uint64
+				if n > 1 {
+					rest = (w << uint(gl)) >> uint(64-(n-1))
+				}
+				r.SkipBits(total)
+				return 1<<uint(n-1) | rest, nil
+			}
+		}
+	}
+	return readDeltaSlow(r)
+}
+
+// readDeltaSlow decodes a delta code through Read/ReadBits. It is the
+// fallback for codes longer than the peek window and the differential-test
+// oracle for the windowed fast path.
+func readDeltaSlow(r *bitio.Reader) (uint64, error) {
+	n64, err := readSlow(r)
 	if err != nil {
 		return 0, err
 	}

@@ -19,6 +19,7 @@
 package iomodel
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -142,6 +143,10 @@ func (d *Disk) putBits(pos int64, v uint64, n int) {
 	if n < 64 {
 		v &= 1<<uint(n) - 1
 	}
+	if n == 64 && pos&7 == 0 {
+		binary.BigEndian.PutUint64(d.buf[pos>>3:], v)
+		return
+	}
 	for n > 0 {
 		byteIdx := pos >> 3
 		bitIdx := int(pos & 7)
@@ -161,6 +166,9 @@ func (d *Disk) putBits(pos int64, v uint64, n int) {
 
 // getBits reads n bits at absolute bit position pos.
 func (d *Disk) getBits(pos int64, n int) uint64 {
+	if n == 64 && pos&7 == 0 {
+		return binary.BigEndian.Uint64(d.buf[pos>>3:])
+	}
 	var v uint64
 	for n > 0 {
 		byteIdx := pos >> 3
@@ -184,6 +192,13 @@ func (d *Disk) getBits(pos int64, n int) uint64 {
 func (d *Disk) AllocStream(w *bitio.Writer) Extent {
 	ext := Extent{Off: d.tailBits, Bits: int64(w.Len())}
 	d.ensure(d.tailBits + ext.Bits)
+	if d.tailBits&7 == 0 {
+		// Byte-aligned tail: the stream's zero-padded bytes land verbatim on
+		// the freshly zeroed storage.
+		copy(d.buf[d.tailBits>>3:], w.Bytes())
+		d.tailBits += ext.Bits
+		return ext
+	}
 	r := bitio.NewReader(w.Bytes(), w.Len())
 	pos := d.tailBits
 	for r.Remaining() >= 64 {
@@ -330,17 +345,15 @@ func (t *Touch) Reader(ext Extent) (*bitio.Reader, error) {
 		return nil, ErrInvalidRange
 	}
 	t.markRead(t.d.blockOf(ext.Off), t.d.blockOf(ext.End()-1))
-	// Materialise the extent as a byte-aligned buffer.
-	w := bitio.NewWriter(int(ext.Bits))
-	pos := ext.Off
-	rem := ext.Bits
-	for rem >= 64 {
-		w.WriteBits(t.d.getBits(pos, 64), 64)
-		pos += 64
-		rem -= 64
+	// Materialise the extent as a byte-aligned buffer (a copy, so later
+	// writes to the device never alias a live reader), whole words at a time.
+	src := bitio.NewReader(t.d.buf[:(ext.End()+7)/8], int(ext.End()))
+	if err := src.Seek(int(ext.Off)); err != nil {
+		return nil, err
 	}
-	if rem > 0 {
-		w.WriteBits(t.d.getBits(pos, int(rem)), int(rem))
+	w := bitio.NewWriter(int(ext.Bits))
+	if err := w.CopyBits(src, int(ext.Bits)); err != nil {
+		return nil, err
 	}
 	return bitio.NewReader(w.Bytes(), w.Len()), nil
 }

@@ -12,8 +12,9 @@
 package ridlist
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cbitmap"
 	"repro/internal/core"
@@ -167,7 +168,10 @@ func (e *Engine) AtLeast(conds []Cond, k int) (*cbitmap.Bitmap, index.QueryStats
 	if k < 1 || k > len(conds) {
 		return nil, stats, fmt.Errorf("ridlist: k=%d outside [1,%d]", k, len(conds))
 	}
-	counts := make(map[int64]int)
+	// Collect every matching RID across the conditions, sort once, and keep
+	// the rows that occur at least k times: a sort + linear run count beats
+	// per-row map bookkeeping and yields the rows already in order.
+	var all []int64
 	for _, c := range conds {
 		bm, st, err := e.idx[c.Dim].Query(index.Range{Lo: c.Lo, Hi: c.Hi})
 		if err != nil {
@@ -176,20 +180,22 @@ func (e *Engine) AtLeast(conds []Cond, k int) (*cbitmap.Bitmap, index.QueryStats
 		stats.Add(st)
 		it := bm.Iter()
 		for i, ok := it.Next(); ok; i, ok = it.Next() {
-			counts[i]++
+			all = append(all, i)
 		}
 	}
-	var rows []int64
-	for i, c := range counts {
-		if c >= k {
-			rows = append(rows, i)
+	slices.Sort(all)
+	bd := cbitmap.NewBuilder(0)
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j] == all[i] {
+			j++
 		}
+		if j-i >= k {
+			bd.Add(all[i])
+		}
+		i = j
 	}
-	bm, err := cbitmap.FromUnsorted(int64(e.table.N), rows)
-	if err != nil {
-		return nil, stats, err
-	}
-	return bm, stats, nil
+	return bd.Bitmap(int64(e.table.N)), stats, nil
 }
 
 // PartialMatch is a conjunction over a subset of the dimensions — the §1
@@ -220,7 +226,7 @@ func (e *Engine) ConjunctionPlanned(conds []Cond) (*cbitmap.Bitmap, index.QueryS
 	for i := range perm {
 		perm[i] = i
 	}
-	sort.SliceStable(perm, func(a, b int) bool { return z[perm[a]] < z[perm[b]] })
+	slices.SortStableFunc(perm, func(a, b int) int { return cmp.Compare(z[a], z[b]) })
 	ordered := make([]Cond, len(conds))
 	for i, p := range perm {
 		ordered[i] = conds[p]

@@ -11,6 +11,7 @@ package wah
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 const (
@@ -125,11 +126,7 @@ func FromWords(n int64, words []uint32) (*Bitmap, error) {
 			}
 		} else {
 			groups++
-			for i := 0; i < groupBits; i++ {
-				if w>>uint(i)&1 == 1 {
-					card++
-				}
-			}
+			card += int64(bits.OnesCount32(w)) // MSB is 0 for literal words
 		}
 	}
 	if groups != (n+groupBits-1)/groupBits {
@@ -142,29 +139,40 @@ func FromWords(n int64, words []uint32) (*Bitmap, error) {
 // Positions decodes the set to a sorted position slice.
 func (b *Bitmap) Positions() []int64 {
 	out := make([]int64, 0, b.card)
+	b.ForEach(func(p int64) { out = append(out, p) })
+	return out
+}
+
+// ForEach calls fn for every set position in increasing order without
+// materialising a slice. Literal words are scanned a set bit at a time with
+// CLZ instead of probing all 31 payload bits.
+func (b *Bitmap) ForEach(fn func(pos int64)) {
 	var base int64
 	for _, w := range b.words {
 		if w&fillFlag != 0 {
 			c := int64(w & maxCount)
 			if w&fillOne != 0 {
-				for i := int64(0); i < c*groupBits; i++ {
-					if base+i < b.n {
-						out = append(out, base+i)
-					}
+				end := base + c*groupBits
+				if end > b.n {
+					end = b.n
+				}
+				for p := base; p < end; p++ {
+					fn(p)
 				}
 			}
 			base += c * groupBits
 		} else {
-			for i := 0; i < groupBits; i++ {
-				if w>>uint(groupBits-1-i)&1 == 1 {
-					p := base + int64(i)
-					if p < b.n {
-						out = append(out, p)
-					}
+			v := w << 1 // drop the flag bit: payload now fills bits 31..1
+			for v != 0 {
+				i := bits.LeadingZeros32(v)
+				p := base + int64(i)
+				if p >= b.n {
+					break
 				}
+				fn(p)
+				v &^= 1 << uint(31-i)
 			}
 			base += groupBits
 		}
 	}
-	return out
 }

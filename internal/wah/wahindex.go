@@ -95,9 +95,7 @@ func (ix *Index) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error)
 		if err != nil {
 			return nil, stats, fmt.Errorf("wah: char %d: %w", a, err)
 		}
-		for _, p := range bm.Positions() {
-			acc.Set(p)
-		}
+		bm.ForEach(acc.Set)
 	}
 	stats.Reads, stats.Writes = t.Reads(), t.Writes()
 	return acc.Compress(), stats, nil

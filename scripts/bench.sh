@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Run the decode-path micro-benchmarks and emit BENCH_<tag>.json so the perf
+# trajectory is tracked from PR to PR.
+#
+# Usage: scripts/bench.sh [tag] [count]
+#   tag    suffix for the output file (default: 1, matching this PR's number)
+#   count  benchmark repetitions (default: 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-1}"
+COUNT="${2:-3}"
+PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode'
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . | tee "$RAW"
+
+python3 - "$RAW" "BENCH_${TAG}.json" <<'EOF'
+import json, re, statistics, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+runs = {}
+extra = {}
+for line in open(raw):
+    m = re.match(r'(Benchmark[\w/=.-]+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)', line)
+    if not m:
+        continue
+    name = m.group(1)
+    runs.setdefault(name, []).append(float(m.group(3)))
+    for val, unit in re.findall(r'([\d.]+) ([\w/%-]+)', m.group(4)):
+        if unit != 'ns/op':
+            extra.setdefault(name, {}).setdefault(unit, []).append(float(val))
+
+result = {
+    name: {
+        'ns_per_op_median': statistics.median(vals),
+        'runs': len(vals),
+        **{u.replace('/', '_per_'): statistics.median(v)
+           for u, v in extra.get(name, {}).items()},
+    }
+    for name, vals in sorted(runs.items())
+}
+with open(out, 'w') as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write('\n')
+print(f'wrote {out} ({len(result)} benchmarks)')
+EOF
