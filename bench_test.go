@@ -129,6 +129,76 @@ func BenchmarkQueryPublicAPI(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedQuery sweeps the shard count on one column: per-query
+// wall time plus the total and critical-path (max single device) block
+// reads of the fan-out + offset-merge pipeline.
+func BenchmarkShardedQuery(b *testing.B) {
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(21))
+	col := make([]uint32, n)
+	for i := range col {
+		col[i] = uint32(rng.Intn(512))
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			ix, err := BuildSharded(col, 512, ShardOptions{Shards: shards, Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix.ResetDeviceStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := uint32(rng.Intn(500))
+				if _, _, err := ix.Query(lo, lo+8); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ix.DeviceStats().BlockReads)/float64(b.N), "blockIO/op")
+		})
+	}
+}
+
+// BenchmarkShardedQueryBatch runs a deduplicated 32-query batch through the
+// pipelined worker pool, with and without the per-shard block cache.
+func BenchmarkShardedQueryBatch(b *testing.B) {
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(22))
+	col := make([]uint32, n)
+	for i := range col {
+		col[i] = uint32(rng.Intn(512))
+	}
+	batch := make([]Range, 32)
+	for i := range batch {
+		lo := uint32(rng.Intn(500))
+		batch[i] = Range{Lo: lo, Hi: lo + 8}
+	}
+	batch[7], batch[19] = batch[0], batch[4] // hot repeats
+	for _, cache := range []int{0, 128} {
+		name := "cache=off"
+		if cache > 0 {
+			name = "cache=" + strconv.Itoa(cache)
+		}
+		b.Run(name, func(b *testing.B) {
+			ix, err := BuildSharded(col, 512, ShardOptions{Shards: 4, Workers: 4, CacheBlocks: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix.ResetDeviceStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.QueryBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := ix.DeviceStats()
+			b.ReportMetric(float64(st.BlockReads)/float64(b.N), "blockIO/batch")
+			if tot := st.CacheHits + st.CacheMisses; tot > 0 {
+				b.ReportMetric(100*float64(st.CacheHits)/float64(tot), "cache-hit-pct")
+			}
+		})
+	}
+}
+
 func BenchmarkAppendDirect(b *testing.B)   { benchAppend(b, false) }
 func BenchmarkAppendBuffered(b *testing.B) { benchAppend(b, true) }
 

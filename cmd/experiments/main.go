@@ -1,9 +1,12 @@
 // Command experiments reruns every experiment in DESIGN.md's per-experiment
-// index and prints the tables recorded in EXPERIMENTS.md.
+// index and prints the tables recorded in EXPERIMENTS.md, plus the S1
+// sharded-query scaling table (shards × workers vs throughput and block
+// I/Os).
 //
 // Usage:
 //
 //	experiments [-quick] [-only E2,E5]
+//	experiments -only S1      # just the sharding scaling table
 package main
 
 import (

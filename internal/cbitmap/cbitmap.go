@@ -21,6 +21,7 @@ import (
 	"math/bits"
 	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/gamma"
@@ -54,6 +55,10 @@ type Bitmap struct {
 	samplePos []int64
 	sampleOff []int32
 	sampleK   int64
+	// sampleOnce guards the lazy sample rebuild for bitmaps assembled from
+	// verbatim tail copies (Union drains, UnionAll shard concatenation),
+	// where construction-time sampling had to stop.
+	sampleOnce sync.Once
 }
 
 // Builder incrementally constructs a Bitmap from strictly increasing
@@ -132,13 +137,21 @@ func (bd *Builder) AppendBitmap(other *Bitmap) {
 // its iterator's stream verbatim (see AppendBitmap); src is the bitmap the
 // iterator reads from. Equal head positions are deduplicated.
 func (bd *Builder) drainIter(cur int64, it *Iter, src *Bitmap) {
+	bd.drainIterShifted(cur, it, src, 0)
+}
+
+// drainIterShifted is drainIter with every remaining position shifted by
+// off: gaps are relative, so a constant shift changes only the head position
+// and the stream tail still copies verbatim, whole words at a time. cur must
+// already include the shift.
+func (bd *Builder) drainIterShifted(cur int64, it *Iter, src *Bitmap, off int64) {
 	if cur != bd.prev {
 		bd.Add(cur)
 	}
 	bd.w.CopyBits(&it.r, it.r.Remaining())
 	bd.card += it.left
-	if src.last > bd.prev {
-		bd.prev = src.last
+	if src.last+off > bd.prev {
+		bd.prev = src.last + off
 	}
 	if it.left > 0 {
 		bd.noSamples = true
@@ -299,10 +312,41 @@ func (b *Bitmap) Iter() Iter {
 	return it
 }
 
+// ensureSamples lazily rebuilds skip samples by one decode pass over the
+// stream. Bitmaps assembled from verbatim tail copies skip construction-time
+// sampling (the copied stream is never element-visited), which would leave
+// point queries scanning from bit 0; the first point query pays one full
+// scan to restore them instead. Safe for concurrent readers.
+func (b *Bitmap) ensureSamples() {
+	if b.card < minSampleCard {
+		return
+	}
+	b.sampleOnce.Do(func() {
+		if b.samplePos != nil {
+			return // sampled at construction
+		}
+		var pos []int64
+		var off []int32
+		it := b.Iter()
+		for i := int64(1); ; i++ {
+			p, ok := it.Next()
+			if !ok {
+				break
+			}
+			if i%sampleEvery == 0 && it.r.Pos() <= math.MaxInt32 {
+				pos = append(pos, p)
+				off = append(off, int32(it.r.Pos()))
+			}
+		}
+		b.attachSamples(pos, off)
+	})
+}
+
 // iterFrom returns an iterator positioned at the latest skip sample strictly
 // before pos (or at the start when there is none), so a forward scan reaches
 // pos after at most sampleK decodes.
 func (b *Bitmap) iterFrom(pos int64) Iter {
+	b.ensureSamples()
 	it := b.Iter()
 	if len(b.samplePos) == 0 || pos <= b.samplePos[0] {
 		return it
@@ -404,15 +448,29 @@ var ErrUniverseMismatch = errors.New("cbitmap: universe size mismatch")
 // time, instead of being decoded and re-encoded.
 func Union(ms ...*Bitmap) (*Bitmap, error) {
 	var n int64
+	nonEmpty := 0
 	for _, m := range ms {
 		if m.n > n {
 			n = m.n
+		}
+		if m.card > 0 {
+			nonEmpty++
 		}
 	}
 	for _, m := range ms {
 		if m.n != n && m.card > 0 {
 			return nil, ErrUniverseMismatch
 		}
+	}
+	if nonEmpty <= 8 {
+		// Small covers (the common case: O(1) bitmaps per tree level): the
+		// linear minimum scan beats heap bookkeeping. UnionAll with zero
+		// offsets is exactly that scan, so the merge loop exists once.
+		parts := make([]Shifted, len(ms))
+		for i, m := range ms {
+			parts[i] = Shifted{Bm: m}
+		}
+		return UnionAll(n, parts...)
 	}
 	type head struct {
 		it  Iter
@@ -427,32 +485,6 @@ func Union(ms ...*Bitmap) (*Bitmap, error) {
 		}
 	}
 	bd := NewBuilder(0)
-	if len(heads) <= 8 {
-		// Small covers (the common case: O(1) bitmaps per tree level):
-		// a linear minimum scan beats heap bookkeeping.
-		for len(heads) > 1 {
-			mi := 0
-			for i := 1; i < len(heads); i++ {
-				if heads[i].cur < heads[mi].cur {
-					mi = i
-				}
-			}
-			p := heads[mi].cur
-			if p != bd.prev { // dedupe
-				bd.Add(p)
-			}
-			if np, ok := heads[mi].it.Next(); ok {
-				heads[mi].cur = np
-			} else {
-				heads[mi] = heads[len(heads)-1]
-				heads = heads[:len(heads)-1]
-			}
-		}
-		if len(heads) == 1 {
-			bd.drainIter(heads[0].cur, &heads[0].it, heads[0].src)
-		}
-		return bd.Bitmap(n), nil
-	}
 	// Large fan-in: binary min-heap on the head positions.
 	less := func(i, j int) bool { return heads[i].cur < heads[j].cur }
 	siftDown := func(i int) {
@@ -490,6 +522,86 @@ func Union(ms ...*Bitmap) (*Bitmap, error) {
 	}
 	if len(heads) == 1 {
 		bd.drainIter(heads[0].cur, &heads[0].it, heads[0].src)
+	}
+	return bd.Bitmap(n), nil
+}
+
+// Shifted pairs a bitmap with a non-negative row-id offset: the pair
+// denotes the set { p + Off | p ∈ Bm }. This is how per-shard query results,
+// each over the shard's local row universe, are rebased onto the global
+// row-id space.
+type Shifted struct {
+	Bm  *Bitmap
+	Off int64
+}
+
+// UnionAll returns the union, over the universe [0,n), of the shifted
+// inputs. When the inputs are pairwise disjoint and arrive in increasing
+// position order — the sharded-query case, where shard i's rows all precede
+// shard i+1's — the merge degenerates to concatenation: only each input's
+// head gap is re-encoded (gaps are relative, so a constant shift leaves
+// every later gap unchanged) and the tail is copied verbatim, whole words at
+// a time. Overlapping or unsorted inputs fall back to a k-way merge with
+// deduplication.
+func UnionAll(n int64, parts ...Shifted) (*Bitmap, error) {
+	type head struct {
+		it  Iter
+		src *Bitmap
+		off int64
+		cur int64 // current position, shift applied
+	}
+	heads := make([]head, 0, len(parts))
+	sizeHint := 0
+	for _, p := range parts {
+		if p.Bm == nil || p.Bm.card == 0 {
+			continue
+		}
+		if p.Off < 0 {
+			return nil, fmt.Errorf("cbitmap: UnionAll offset %d is negative", p.Off)
+		}
+		if p.Off+p.Bm.last >= n {
+			return nil, fmt.Errorf("cbitmap: shifted position %d outside universe [0,%d)", p.Off+p.Bm.last, n)
+		}
+		it := p.Bm.Iter()
+		p0, _ := it.Next()
+		heads = append(heads, head{it: it, src: p.Bm, off: p.Off, cur: p0 + p.Off})
+		sizeHint += p.Bm.bits
+	}
+	bd := NewBuilder(sizeHint)
+	concat := true
+	for i := 1; i < len(heads); i++ {
+		if heads[i-1].src.last+heads[i-1].off >= heads[i].cur {
+			concat = false // overlapping or out of order
+			break
+		}
+	}
+	if concat {
+		for i := range heads {
+			bd.drainIterShifted(heads[i].cur, &heads[i].it, heads[i].src, heads[i].off)
+		}
+		return bd.Bitmap(n), nil
+	}
+	// General case: linear minimum scan over the heads (fan-in here is the
+	// shard count, small enough that heap bookkeeping would not pay).
+	for len(heads) > 1 {
+		mi := 0
+		for i := 1; i < len(heads); i++ {
+			if heads[i].cur < heads[mi].cur {
+				mi = i
+			}
+		}
+		if p := heads[mi].cur; p != bd.prev { // dedupe
+			bd.Add(p)
+		}
+		if np, ok := heads[mi].it.Next(); ok {
+			heads[mi].cur = np + heads[mi].off
+		} else {
+			heads[mi] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+	}
+	if len(heads) == 1 {
+		bd.drainIterShifted(heads[0].cur, &heads[0].it, heads[0].src, heads[0].off)
 	}
 	return bd.Bitmap(n), nil
 }

@@ -1,0 +1,189 @@
+package cbitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refUnionAll computes the shifted union with a position map.
+func refUnionAll(n int64, parts []Shifted) *Bitmap {
+	seen := make(map[int64]struct{})
+	for _, p := range parts {
+		it := p.Bm.Iter()
+		for pos, ok := it.Next(); ok; pos, ok = it.Next() {
+			seen[pos+p.Off] = struct{}{}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	return MustFromPositions(n, sortedCopy(out))
+}
+
+func sortedCopy(pos []int64) []int64 {
+	out := append([]int64(nil), pos...)
+	for i := 1; i < len(out); i++ { // insertion sort, test-only sizes
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestUnionAllShardMerge exercises the concatenation fast path: contiguous
+// disjoint shards in order, as the sharded query engine produces them.
+func TestUnionAllShardMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := int64(1000 + rng.Intn(9000))
+		shards := 1 + rng.Intn(8)
+		var parts []Shifted
+		var off int64
+		for s := 0; s < shards; s++ {
+			span := (n - off) / int64(shards-s)
+			if span < 1 {
+				span = 1
+			}
+			m := rng.Intn(int(min64(span, 200)) + 1)
+			parts = append(parts, Shifted{Bm: MustFromPositions(span, randSet(rng, span, m)), Off: off})
+			off += span
+		}
+		got, err := UnionAll(n, parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refUnionAll(n, parts)
+		if !Equal(got, want) {
+			t.Fatalf("trial %d: shard merge mismatch: card %d vs %d", trial, got.Card(), want.Card())
+		}
+		// The canonical encoding means the merged result must be bit-identical
+		// to building from scratch, not just set-equal.
+		if got.SizeBits() != want.SizeBits() {
+			t.Fatalf("trial %d: non-canonical encoding: %d vs %d bits", trial, got.SizeBits(), want.SizeBits())
+		}
+	}
+}
+
+// TestUnionAllOverlapping exercises the general merge: arbitrary offsets
+// with overlapping ranges and duplicate positions.
+func TestUnionAllOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := int64(2000)
+		k := 1 + rng.Intn(6)
+		var parts []Shifted
+		for s := 0; s < k; s++ {
+			span := int64(100 + rng.Intn(900))
+			m := rng.Intn(100)
+			off := rng.Int63n(n - span)
+			parts = append(parts, Shifted{Bm: MustFromPositions(span, randSet(rng, span, m)), Off: off})
+		}
+		got, err := UnionAll(n, parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refUnionAll(n, parts); !Equal(got, want) {
+			t.Fatalf("trial %d: overlapping merge mismatch: card %d vs %d", trial, got.Card(), want.Card())
+		}
+	}
+}
+
+// TestUnionAllMatchesUnion: with zero offsets over one universe, UnionAll
+// and Union must agree bit for bit.
+func TestUnionAllMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := int64(5000)
+	var ms []*Bitmap
+	var parts []Shifted
+	for s := 0; s < 10; s++ {
+		bm := MustFromPositions(n, randSet(rng, n, 150))
+		ms = append(ms, bm)
+		parts = append(parts, Shifted{Bm: bm})
+	}
+	u, err := Union(ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := UnionAll(n, parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(u, ua) {
+		t.Fatal("UnionAll(off=0) differs from Union")
+	}
+}
+
+// TestUnionAllEdgeCases: empty inputs, nil bitmaps, and validation.
+func TestUnionAllEdgeCases(t *testing.T) {
+	out, err := UnionAll(100)
+	if err != nil || out.Card() != 0 || out.Universe() != 100 {
+		t.Fatalf("empty UnionAll: %v card=%d n=%d", err, out.Card(), out.Universe())
+	}
+	out, err = UnionAll(100, Shifted{Bm: Empty(10), Off: 95}, Shifted{Bm: nil})
+	if err != nil || out.Card() != 0 {
+		t.Fatalf("empty parts: %v card=%d", err, out.Card())
+	}
+	b := MustFromPositions(10, []int64{5})
+	if _, err := UnionAll(100, Shifted{Bm: b, Off: -1}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := UnionAll(100, Shifted{Bm: b, Off: 95}); err == nil {
+		t.Fatal("shifted position outside universe accepted")
+	}
+	out, err = UnionAll(100, Shifted{Bm: b, Off: 94})
+	if err != nil || !out.Contains(99) || out.Card() != 1 {
+		t.Fatalf("single shifted element: %v", err)
+	}
+}
+
+// TestUnionAllLazySamples: the concatenation fast path copies shard tails
+// verbatim, so construction-time sampling is skipped — the first point query
+// must rebuild skip samples (one scan) instead of leaving every later
+// Contains to scan from bit 0, and the rebuilt samples must agree with the
+// from-scratch encoding's.
+func TestUnionAllLazySamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const span = int64(1 << 20)
+	var parts []Shifted
+	var all []int64
+	for s := int64(0); s < 4; s++ {
+		pos := randSet(rng, span, 5000)
+		parts = append(parts, Shifted{Bm: MustFromPositions(span, pos), Off: s * span})
+		for _, p := range pos {
+			all = append(all, p+s*span)
+		}
+	}
+	merged, err := UnionAll(4*span, parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.SampleBits() != 0 {
+		t.Fatal("concat path unexpectedly sampled during construction")
+	}
+	for _, p := range []int64{all[0], all[len(all)/2], all[len(all)-1]} {
+		if !merged.Contains(p) {
+			t.Fatalf("Contains(%d) = false for a member", p)
+		}
+	}
+	if merged.SampleBits() == 0 {
+		t.Fatal("first point query did not rebuild skip samples")
+	}
+	ref := MustFromPositions(4*span, sortedCopy(all))
+	if merged.SampleBits() != ref.SampleBits() {
+		t.Fatalf("lazy samples use %d bits, construction-time samples %d", merged.SampleBits(), ref.SampleBits())
+	}
+	for i := 0; i < 200; i++ {
+		p := rng.Int63n(4 * span)
+		if merged.Contains(p) != ref.Contains(p) || merged.Rank(p) != ref.Rank(p) {
+			t.Fatalf("lazy-sample Contains/Rank disagrees at %d", p)
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

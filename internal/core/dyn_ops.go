@@ -239,10 +239,13 @@ func (ax *AppendIndex) flushRoot(tc *iomodel.Touch) error {
 	for _, e := range ax.rootBuf {
 		counts[ax.memberFor(0, e.ch)]++
 	}
+	// Ties resolve to the member with the smallest character range start, so
+	// the flush order — and the rebuild layout it induces — is identical run
+	// to run (map iteration order must not leak into the structure).
 	var best *dynMember
 	bestN := -1
 	for m, n := range counts {
-		if n > bestN {
+		if m != nil && (n > bestN || (n == bestN && m.node.lo < best.node.lo)) {
 			best, bestN = m, n
 		}
 	}
@@ -287,10 +290,11 @@ func (ax *AppendIndex) deliverDyn(tc *iomodel.Touch, m *dynMember, batch []dynEn
 		for _, e := range es {
 			counts[ax.memberFor(m.level+1, e.ch)]++
 		}
+		// Deterministic tie-break, as in flushRoot.
 		var best *dynMember
 		bestN := -1
 		for dm, n := range counts {
-			if n > bestN {
+			if dm != nil && (n > bestN || (n == bestN && dm.node.lo < best.node.lo)) {
 				best, bestN = dm, n
 			}
 		}

@@ -333,9 +333,12 @@ func childFor(nd *pnode, k pkey) int {
 }
 
 // pickDominantChild partitions entries between the child of nd receiving
-// the most updates (returned first) and the remainder.
+// the most updates (returned first) and the remainder. Counting runs over
+// the child index slice, not a map, so ties always resolve to the lowest
+// child index: the choice — and hence the rebuild layout downstream of it —
+// is identical run to run.
 func (px *PointIndex) pickDominantChild(nd *pnode, es []pentry) (moved, rest []pentry) {
-	counts := make(map[int]int)
+	counts := make([]int, len(nd.kids))
 	for _, e := range es {
 		counts[childFor(nd, pkey{e.ch, e.pos})]++
 	}

@@ -910,6 +910,7 @@ func All() []struct {
 		{"E8", E8Dynamic},
 		{"E9", E9RIDIntersection},
 		{"E10", E10OutputOptimality},
+		{"S1", S1ShardScaling},
 		{"A1", A1Stride},
 		{"A2", A2Branching},
 		{"A3", A3PointBranching},

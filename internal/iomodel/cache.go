@@ -1,0 +1,101 @@
+package iomodel
+
+import "sync"
+
+// blockCache is an LRU cache of resident blocks. It models a buffer pool in
+// front of the simulated device: an operation that reads a cached block pays
+// no device I/O, because the block is already in internal memory from an
+// earlier operation. The cache tracks residency only — block contents live in
+// the Disk's storage, so cached reads can never return stale data.
+//
+// The cache is shared by every Touch session on the Disk and is safe for
+// concurrent use: parallel read-only queries against a static index may race
+// on recency updates, but hits, misses and evictions stay consistent.
+type blockCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[BlockID]*cacheNode
+	// Doubly linked recency ring: head.next is most recent, head.prev least.
+	head cacheNode
+}
+
+type cacheNode struct {
+	id         BlockID
+	prev, next *cacheNode
+}
+
+func newBlockCache(capacity int) *blockCache {
+	c := &blockCache{cap: capacity, m: make(map[BlockID]*cacheNode, capacity)}
+	c.head.prev, c.head.next = &c.head, &c.head
+	return c
+}
+
+func (c *blockCache) unlink(n *cacheNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (c *blockCache) pushFront(n *cacheNode) {
+	n.prev = &c.head
+	n.next = c.head.next
+	n.prev.next = n
+	n.next.prev = n
+}
+
+// touch records an access to block id and reports whether it was already
+// resident. On a miss the block is inserted, evicting the least recently
+// used block if the cache is full.
+func (c *blockCache) touch(id BlockID) (hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.m[id]; ok {
+		c.unlink(n)
+		c.pushFront(n)
+		return true
+	}
+	c.insert(id)
+	return false
+}
+
+// insert adds id as the most recent block, evicting if needed. Caller holds mu.
+func (c *blockCache) insert(id BlockID) {
+	if len(c.m) >= c.cap {
+		lru := c.head.prev
+		c.unlink(lru)
+		delete(c.m, lru.id)
+	}
+	n := &cacheNode{id: id}
+	c.m[id] = n
+	c.pushFront(n)
+}
+
+// note records that block id is resident (it was just written) without
+// counting a hit or a miss.
+func (c *blockCache) note(id BlockID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.m[id]; ok {
+		c.unlink(n)
+		c.pushFront(n)
+		return
+	}
+	c.insert(id)
+}
+
+// drop removes block id from the cache (freed blocks lose residency so a
+// reallocation starts cold).
+func (c *blockCache) drop(id BlockID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.m[id]; ok {
+		c.unlink(n)
+		delete(c.m, id)
+	}
+}
+
+// Len returns the number of resident blocks.
+func (c *blockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,143 @@
+package iomodel
+
+import (
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// TestCacheDisabledByDefault: with no CacheBlocks the accounting is the bare
+// I/O model — every distinct block per session is one read.
+func TestCacheDisabledByDefault(t *testing.T) {
+	d := NewDisk(Config{BlockBits: 256})
+	w := bitio.NewWriter(1024)
+	for i := 0; i < 16; i++ {
+		w.WriteBits(uint64(i), 64)
+	}
+	ext := d.AllocStream(w)
+	for trial := 0; trial < 2; trial++ {
+		tc := d.NewTouch()
+		if _, err := tc.Reader(ext); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := tc.Reads(), 4; got != want {
+			t.Fatalf("trial %d: %d reads, want %d", trial, got, want)
+		}
+	}
+	st := d.Stats()
+	if st.BlockReads != 8 || st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("uncached stats: %+v", st)
+	}
+}
+
+// TestCacheHitsRepeatReads: a second session re-reading the same extent is
+// served entirely from the cache.
+func TestCacheHitsRepeatReads(t *testing.T) {
+	d := NewDisk(Config{BlockBits: 256, CacheBlocks: 8})
+	w := bitio.NewWriter(1024)
+	for i := 0; i < 16; i++ {
+		w.WriteBits(uint64(i), 64)
+	}
+	ext := d.AllocStream(w)
+
+	tc1 := d.NewTouch()
+	if _, err := tc1.Reader(ext); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc1.Reads(); got != 4 {
+		t.Fatalf("cold session paid %d reads, want 4", got)
+	}
+	tc2 := d.NewTouch()
+	r, err := tc2.Reader(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tc2.Reads(); got != 0 {
+		t.Fatalf("warm session paid %d reads, want 0", got)
+	}
+	if v, _ := r.ReadBits(64); v != 0 {
+		t.Fatalf("cached read returned wrong data: %d", v)
+	}
+	st := d.Stats()
+	if st.BlockReads != 4 || st.CacheHits != 4 || st.CacheMisses != 4 {
+		t.Fatalf("stats after warm read: %+v", st)
+	}
+}
+
+// TestCacheEviction: with capacity below the working set, a cyclic scan of
+// distinct blocks never hits (LRU's worst case).
+func TestCacheEviction(t *testing.T) {
+	d := NewDisk(Config{BlockBits: 256, CacheBlocks: 2})
+	w := bitio.NewWriter(1024)
+	for i := 0; i < 16; i++ {
+		w.WriteBits(uint64(i), 64)
+	}
+	d.AllocStream(w)
+	for round := 0; round < 3; round++ {
+		for b := 0; b < 4; b++ {
+			tc := d.NewTouch()
+			if _, err := tc.ReadBits(int64(b)*256, 8); err != nil {
+				t.Fatal(err)
+			}
+			if tc.Reads() != 1 {
+				t.Fatalf("round %d block %d: served from cache under cyclic eviction", round, b)
+			}
+		}
+	}
+	if got := d.CachedBlocks(); got != 2 {
+		t.Fatalf("cache holds %d blocks, capacity 2", got)
+	}
+}
+
+// TestCacheWriteMakesResident: a written block is resident, so reading it
+// back in a later session is free; freeing it drops residency.
+func TestCacheWriteMakesResident(t *testing.T) {
+	d := NewDisk(Config{BlockBits: 256, CacheBlocks: 4})
+	id := d.AllocBlock()
+	tc := d.NewTouch()
+	if err := tc.WriteBits(d.BlockOff(id), 42, 8); err != nil {
+		t.Fatal(err)
+	}
+	tc2 := d.NewTouch()
+	if _, err := tc2.ReadBits(d.BlockOff(id), 8); err != nil {
+		t.Fatal(err)
+	}
+	if tc2.Reads() != 0 {
+		t.Fatal("read of freshly written block not served from cache")
+	}
+	d.FreeBlock(id)
+	id2 := d.AllocBlock() // reuses the freed block
+	tc3 := d.NewTouch()
+	if _, err := tc3.ReadBits(d.BlockOff(id2), 8); err != nil {
+		t.Fatal(err)
+	}
+	if tc3.Reads() != 1 {
+		t.Fatal("freed block kept residency across reallocation")
+	}
+}
+
+// FuzzCacheCapacityOne drives a capacity-1 cache with an arbitrary block
+// access sequence and checks it against the trivial reference model: an
+// access hits iff it names the same block as the immediately preceding
+// access. This pins the eviction order at the capacity boundary.
+func FuzzCacheCapacityOne(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 1})
+	f.Add([]byte{3, 3, 3})
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{7, 7, 0, 7, 0, 0, 7})
+	f.Fuzz(func(t *testing.T, seq []byte) {
+		c := newBlockCache(1)
+		last := BlockID(-1)
+		for i, b := range seq {
+			id := BlockID(b % 8)
+			hit := c.touch(id)
+			if want := id == last; hit != want {
+				t.Fatalf("access %d (block %d): hit=%v, reference says %v", i, id, hit, want)
+			}
+			last = id
+			if got := c.Len(); got != 1 {
+				t.Fatalf("access %d: cache holds %d blocks, capacity 1", i, got)
+			}
+		}
+	})
+}

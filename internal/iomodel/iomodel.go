@@ -38,6 +38,11 @@ type Config struct {
 	// harness reports whether the paper's assumption M = B(σ lg n)^Ω(1)
 	// holds for a given experiment; merges themselves run in host memory.
 	MemBits int
+	// CacheBlocks enables an LRU buffer pool of that many blocks in front of
+	// the device: reading a resident block costs no I/O, and Stats reports
+	// hits and misses. Zero disables caching, the paper's bare cost model,
+	// where every distinct block an operation touches is one I/O.
+	CacheBlocks int
 }
 
 // Stats accumulates global device counters. Counter updates are atomic so
@@ -47,6 +52,8 @@ type Stats struct {
 	BlockReads  atomic.Int64 // distinct block reads summed over all sessions
 	BlockWrites atomic.Int64 // distinct block writes summed over all sessions
 	Sessions    atomic.Int64
+	CacheHits   atomic.Int64 // reads served by the block cache (no I/O)
+	CacheMisses atomic.Int64 // cache-enabled reads that went to the device
 }
 
 // StatsSnapshot is a plain-value copy of the counters.
@@ -54,6 +61,8 @@ type StatsSnapshot struct {
 	BlockReads  int64
 	BlockWrites int64
 	Sessions    int64
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Extent identifies a bit range on the disk.
@@ -76,6 +85,7 @@ type Disk struct {
 	free     []BlockID
 	freed    int64 // number of blocks currently on the free list
 	stats    Stats
+	cache    *blockCache // nil unless Config.CacheBlocks > 0
 }
 
 // ErrInvalidRange reports an out-of-bounds disk access.
@@ -94,7 +104,14 @@ func NewDisk(cfg Config) *Disk {
 	if cfg.MemBits == 0 {
 		cfg.MemBits = 1024 * cfg.BlockBits
 	}
-	return &Disk{cfg: cfg}
+	if cfg.CacheBlocks < 0 {
+		panic(fmt.Sprintf("iomodel: CacheBlocks %d must not be negative", cfg.CacheBlocks))
+	}
+	d := &Disk{cfg: cfg}
+	if cfg.CacheBlocks > 0 {
+		d.cache = newBlockCache(cfg.CacheBlocks)
+	}
+	return d
 }
 
 // BlockBits returns the block size B in bits.
@@ -109,6 +126,8 @@ func (d *Disk) Stats() StatsSnapshot {
 		BlockReads:  d.stats.BlockReads.Load(),
 		BlockWrites: d.stats.BlockWrites.Load(),
 		Sessions:    d.stats.Sessions.Load(),
+		CacheHits:   d.stats.CacheHits.Load(),
+		CacheMisses: d.stats.CacheMisses.Load(),
 	}
 }
 
@@ -117,6 +136,17 @@ func (d *Disk) ResetStats() {
 	d.stats.BlockReads.Store(0)
 	d.stats.BlockWrites.Store(0)
 	d.stats.Sessions.Store(0)
+	d.stats.CacheHits.Store(0)
+	d.stats.CacheMisses.Store(0)
+}
+
+// CachedBlocks returns the number of blocks currently resident in the cache
+// (0 when caching is disabled).
+func (d *Disk) CachedBlocks() int {
+	if d.cache == nil {
+		return 0
+	}
+	return d.cache.Len()
 }
 
 // AllocatedBits returns the total bits ever placed on the device, including
@@ -248,6 +278,9 @@ func (d *Disk) AllocBlock() BlockID {
 func (d *Disk) FreeBlock(id BlockID) {
 	d.free = append(d.free, id)
 	d.freed++
+	if d.cache != nil {
+		d.cache.drop(id) // a freed block loses residency
+	}
 }
 
 // BlockOff returns the absolute bit offset of a block.
@@ -265,6 +298,9 @@ type Touch struct {
 	d      *Disk
 	reads  map[BlockID]struct{}
 	writes map[BlockID]struct{}
+	// charged counts the reads that actually hit the device: with a block
+	// cache, reads of resident blocks are free, so charged <= len(reads).
+	charged int
 }
 
 // NewTouch opens an accounting session.
@@ -273,21 +309,31 @@ func (d *Disk) NewTouch() *Touch {
 	return &Touch{d: d, reads: make(map[BlockID]struct{}), writes: make(map[BlockID]struct{})}
 }
 
-// Reads returns the number of distinct blocks read in this session.
-func (t *Touch) Reads() int { return len(t.reads) }
+// Reads returns the number of block reads this session paid for: distinct
+// blocks read, minus reads served by the block cache when one is configured.
+func (t *Touch) Reads() int { return t.charged }
 
 // Writes returns the number of distinct blocks written in this session.
 func (t *Touch) Writes() int { return len(t.writes) }
 
-// IOs returns total distinct blocks touched (reads + writes).
-func (t *Touch) IOs() int { return len(t.reads) + len(t.writes) }
+// IOs returns total blocks I/Os paid for (reads + writes).
+func (t *Touch) IOs() int { return t.charged + len(t.writes) }
 
 func (t *Touch) markRead(from, to BlockID) {
 	for b := from; b <= to; b++ {
-		if _, ok := t.reads[b]; !ok {
-			t.reads[b] = struct{}{}
-			t.d.stats.BlockReads.Add(1)
+		if _, ok := t.reads[b]; ok {
+			continue
 		}
+		t.reads[b] = struct{}{}
+		if c := t.d.cache; c != nil {
+			if c.touch(b) {
+				t.d.stats.CacheHits.Add(1)
+				continue // resident: no device read
+			}
+			t.d.stats.CacheMisses.Add(1)
+		}
+		t.charged++
+		t.d.stats.BlockReads.Add(1)
 	}
 }
 
@@ -296,6 +342,9 @@ func (t *Touch) markWrite(from, to BlockID) {
 		if _, ok := t.writes[b]; !ok {
 			t.writes[b] = struct{}{}
 			t.d.stats.BlockWrites.Add(1)
+			if c := t.d.cache; c != nil {
+				c.note(b) // a written block is resident afterwards
+			}
 		}
 	}
 }

@@ -1,0 +1,287 @@
+// Package shard partitions a column into contiguous row-range shards, each
+// backed by its own static Theorem 2/3 index on its own simulated disk, and
+// serves range queries by fanning out across the shards and merging the
+// compressed per-shard answers with row-id offsetting.
+//
+// This mirrors how the Aggarwal–Vitter I/O model treats parallelism: the
+// shards' disks are independent block devices, so S shards can serve a query
+// in max-per-shard rather than sum I/O time, and the aggregate query counters
+// report exactly the same total block transfers as one device would (plus
+// per-shard tree overhead). Shard builds and queries run through one bounded
+// worker pool; merges use cbitmap.UnionAll, whose contiguous-shard fast path
+// re-encodes only each shard's head gap and copies the rest of the
+// compressed answer verbatim.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cbitmap"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// Options configures a sharded index.
+type Options struct {
+	// Shards is the number of contiguous row-range shards (default 1). It is
+	// clamped so every shard holds at least one row.
+	Shards int
+	// Workers bounds concurrent shard builds and queries (default
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+	// BlockBits, MemBits and CacheBlocks configure each shard's Disk;
+	// CacheBlocks > 0 enables the per-shard LRU block cache.
+	BlockBits   int
+	MemBits     int
+	CacheBlocks int
+	// Branching, Stride and Seed configure each shard's index as in
+	// core.ApproxOptions. All shards share the Seed.
+	Branching int
+	Stride    int
+	Seed      int64
+}
+
+// shard is one contiguous row range [start, start+ax.Len()) of the column.
+type shard struct {
+	ax    *core.Approx
+	disk  *iomodel.Disk
+	start int64 // global row id of the shard's local row 0
+}
+
+// Index is a sharded static secondary index over a column of n rows.
+type Index struct {
+	shards  []*shard
+	n       int64
+	sigma   int
+	workers int
+}
+
+// Build constructs a sharded index over data (values in [0,sigma)),
+// building the shards in parallel through a pool of opts.Workers workers.
+func Build(data []uint32, sigma int, opts Options) (*Index, error) {
+	if sigma < 1 {
+		return nil, fmt.Errorf("shard: alphabet size %d", sigma)
+	}
+	if opts.CacheBlocks < 0 {
+		// Validate here: iomodel.NewDisk panics on a negative capacity, and
+		// it is called inside a build worker goroutine where a panic would
+		// kill the process instead of surfacing as Build's error.
+		return nil, fmt.Errorf("shard: CacheBlocks %d must not be negative", opts.CacheBlocks)
+	}
+	s := opts.Shards
+	if s < 1 {
+		s = 1
+	}
+	if int64(s) > int64(len(data)) {
+		s = len(data) // at least one row per shard
+		if s < 1 {
+			s = 1
+		}
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sx := &Index{
+		shards:  make([]*shard, s),
+		n:       int64(len(data)),
+		sigma:   sigma,
+		workers: workers,
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	errs := make([]error, s)
+	for i := 0; i < s; i++ {
+		// Balanced contiguous partition: shard i covers [i·n/s, (i+1)·n/s).
+		start := int64(i) * sx.n / int64(s)
+		end := int64(i+1) * sx.n / int64(s)
+		wg.Add(1)
+		go func(i int, start, end int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			d := iomodel.NewDisk(iomodel.Config{
+				BlockBits:   opts.BlockBits,
+				MemBits:     opts.MemBits,
+				CacheBlocks: opts.CacheBlocks,
+			})
+			ax, err := core.BuildApprox(d, workload.Column{X: data[start:end], Sigma: sigma}, core.ApproxOptions{
+				OptimalOptions: core.OptimalOptions{Branching: opts.Branching, Stride: opts.Stride},
+				Seed:           opts.Seed,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sx.shards[i] = &shard{ax: ax, disk: d, start: start}
+		}(i, start, end)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sx, nil
+}
+
+// Len returns the number of rows indexed.
+func (sx *Index) Len() int64 { return sx.n }
+
+// Sigma returns the alphabet size.
+func (sx *Index) Sigma() int { return sx.sigma }
+
+// Shards returns the shard count.
+func (sx *Index) Shards() int { return len(sx.shards) }
+
+// SizeBits returns the total space usage across all shards.
+func (sx *Index) SizeBits() int64 {
+	var bits int64
+	for _, sh := range sx.shards {
+		bits += sh.ax.SizeBits()
+	}
+	return bits
+}
+
+// DeviceStats sums the cumulative device counters of every shard's disk.
+func (sx *Index) DeviceStats() iomodel.StatsSnapshot {
+	var out iomodel.StatsSnapshot
+	for _, sh := range sx.shards {
+		st := sh.disk.Stats()
+		out.BlockReads += st.BlockReads
+		out.BlockWrites += st.BlockWrites
+		out.Sessions += st.Sessions
+		out.CacheHits += st.CacheHits
+		out.CacheMisses += st.CacheMisses
+	}
+	return out
+}
+
+// PerShardStats returns each shard disk's cumulative counters, in row
+// order. The maximum per-shard read count is the query workload's critical
+// path on independent devices.
+func (sx *Index) PerShardStats() []iomodel.StatsSnapshot {
+	out := make([]iomodel.StatsSnapshot, len(sx.shards))
+	for i, sh := range sx.shards {
+		out[i] = sh.disk.Stats()
+	}
+	return out
+}
+
+// ResetDeviceStats zeroes every shard disk's cumulative counters.
+func (sx *Index) ResetDeviceStats() {
+	for _, sh := range sx.shards {
+		sh.disk.ResetStats()
+	}
+}
+
+// Query answers I[lo;hi] by fanning the range out to every shard and merging
+// the compressed per-shard answers, rebased by each shard's row offset. The
+// returned stats sum the per-shard I/O costs (total block transfers; on S
+// independent devices the critical path is roughly 1/S of it). It is a
+// single-range batch, so the fan-out + merge pipeline exists once.
+func (sx *Index) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	bms, st, err := sx.QueryBatch([]index.Range{r})
+	if err != nil {
+		return nil, st, err
+	}
+	return bms[0], st, nil
+}
+
+// batchSlot accumulates one deduplicated range's per-shard answers.
+type batchSlot struct {
+	mu    sync.Mutex
+	parts []cbitmap.Shifted
+	stats index.QueryStats
+	left  int
+	out   *cbitmap.Bitmap
+	err   error
+}
+
+// QueryBatch answers a batch of ranges. Duplicate ranges are deduplicated
+// (they share one answer and pay I/O once), and all per-shard queries of the
+// whole batch flow through one bounded worker pool, so shard work for later
+// ranges overlaps the merges of earlier ones. The i-th result corresponds to
+// rs[i]; the returned stats aggregate the whole batch.
+func (sx *Index) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+	var stats index.QueryStats
+	uniq := make(map[index.Range]int, len(rs))
+	var order []index.Range
+	for _, r := range rs {
+		if err := r.Valid(sx.sigma); err != nil {
+			return nil, stats, err
+		}
+		if _, ok := uniq[r]; !ok {
+			uniq[r] = len(order)
+			order = append(order, r)
+		}
+	}
+	slots := make([]batchSlot, len(order))
+	for i := range slots {
+		slots[i].parts = make([]cbitmap.Shifted, len(sx.shards))
+		slots[i].left = len(sx.shards)
+	}
+	type task struct {
+		slot  int
+		shard int
+	}
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	workers := sx.workers
+	if total := len(order) * len(sx.shards); workers > total {
+		workers = total
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				sl := &slots[tk.slot]
+				sh := sx.shards[tk.shard]
+				bm, st, err := sh.ax.Query(order[tk.slot])
+				sl.mu.Lock()
+				if err != nil {
+					if sl.err == nil {
+						sl.err = err
+					}
+				} else {
+					sl.parts[tk.shard] = cbitmap.Shifted{Bm: bm, Off: sh.start}
+					sl.stats.Add(st)
+				}
+				sl.left--
+				ready := sl.left == 0 && sl.err == nil
+				sl.mu.Unlock()
+				if ready {
+					// The completing worker merges, pipelined with other
+					// ranges' shard queries still in flight.
+					out, err := cbitmap.UnionAll(sx.n, sl.parts...)
+					sl.mu.Lock()
+					sl.out, sl.err = out, err
+					sl.mu.Unlock()
+				}
+			}
+		}()
+	}
+	for si := range order {
+		for hi := range sx.shards {
+			tasks <- task{slot: si, shard: hi}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, stats, slots[i].err
+		}
+		stats.Add(slots[i].stats)
+	}
+	out := make([]*cbitmap.Bitmap, len(rs))
+	for i, r := range rs {
+		out[i] = slots[uniq[r]].out
+	}
+	return out, stats, nil
+}

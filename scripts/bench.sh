@@ -1,16 +1,16 @@
 #!/usr/bin/env bash
-# Run the decode-path micro-benchmarks and emit BENCH_<tag>.json so the perf
-# trajectory is tracked from PR to PR.
+# Run the decode-path and query-engine micro-benchmarks and emit
+# BENCH_<tag>.json so the perf trajectory is tracked from PR to PR.
 #
 # Usage: scripts/bench.sh [tag] [count]
-#   tag    suffix for the output file (default: 1, matching this PR's number)
+#   tag    suffix for the output file (default: 2, matching this PR's number)
 #   count  benchmark repetitions (default: 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-1}"
+TAG="${1:-2}"
 COUNT="${2:-3}"
-PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode'
+PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode|BenchmarkShardedQuery|BenchmarkShardedQueryBatch'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -1,0 +1,124 @@
+package secidx
+
+import (
+	"repro/internal/index"
+	"repro/internal/shard"
+)
+
+// Range is an alphabet range query [Lo,Hi] (inclusive), the batch-query
+// request unit.
+type Range struct {
+	Lo, Hi uint32
+}
+
+// ShardOptions configures BuildSharded.
+type ShardOptions struct {
+	// Options carries the per-shard index parameters (BlockBits, MemBits,
+	// Branching, Stride, Seed); Buffered is ignored, shards are static.
+	Options
+	// Shards is the number of contiguous row-range shards (default 1).
+	Shards int
+	// Workers bounds concurrent shard builds and queries (default GOMAXPROCS).
+	Workers int
+	// CacheBlocks enables an LRU block cache of that many blocks on each
+	// shard's device: repeated queries stop re-reading hot superblocks, and
+	// DeviceStats reports the hit/miss counters. Zero disables caching.
+	CacheBlocks int
+}
+
+// ShardedIndex partitions the column into contiguous row-range shards, each
+// a static Index (Theorem 2) on its own simulated disk — the I/O model's
+// view of parallel storage as independent block devices. Queries fan out
+// across shards through a bounded worker pool and the compressed per-shard
+// answers are merged with row-id offsetting; results are identical, bit for
+// bit, to a single unsharded Index over the same column.
+type ShardedIndex struct {
+	sx *shard.Index
+}
+
+// BuildSharded constructs a sharded index over data (values in [0,sigma)).
+// Shards build in parallel, bounded by opts.Workers.
+func BuildSharded(data []uint32, sigma int, opts ShardOptions) (*ShardedIndex, error) {
+	sx, err := shard.Build(data, sigma, shard.Options{
+		Shards:      opts.Shards,
+		Workers:     opts.Workers,
+		BlockBits:   opts.BlockBits,
+		MemBits:     opts.MemBits,
+		CacheBlocks: opts.CacheBlocks,
+		Branching:   opts.Branching,
+		Stride:      opts.Stride,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{sx: sx}, nil
+}
+
+// Len returns the number of rows indexed.
+func (ix *ShardedIndex) Len() int64 { return ix.sx.Len() }
+
+// Sigma returns the alphabet size.
+func (ix *ShardedIndex) Sigma() int { return ix.sx.Sigma() }
+
+// Shards returns the number of shards.
+func (ix *ShardedIndex) Shards() int { return ix.sx.Shards() }
+
+// SizeBits returns the total space usage across all shards.
+func (ix *ShardedIndex) SizeBits() int64 { return ix.sx.SizeBits() }
+
+// Query answers I[lo;hi] exactly, fanning out across shards. Stats sum the
+// per-shard I/O; on independent devices the critical path is the largest
+// per-shard share.
+func (ix *ShardedIndex) Query(lo, hi uint32) (*Result, Stats, error) {
+	bm, st, err := ix.sx.Query(index.Range{Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, fromQS(st), err
+	}
+	return &Result{bm: bm}, fromQS(st), nil
+}
+
+// QueryBatch answers a batch of ranges through one worker pool: duplicate
+// ranges are deduplicated (answered once, shared), and per-shard work for
+// different ranges is pipelined. The i-th result answers ranges[i].
+func (ix *ShardedIndex) QueryBatch(ranges []Range) ([]*Result, Stats, error) {
+	rs := make([]index.Range, len(ranges))
+	for i, r := range ranges {
+		rs[i] = index.Range{Lo: r.Lo, Hi: r.Hi}
+	}
+	bms, st, err := ix.sx.QueryBatch(rs)
+	if err != nil {
+		return nil, fromQS(st), err
+	}
+	out := make([]*Result, len(bms))
+	for i, bm := range bms {
+		out[i] = &Result{bm: bm}
+	}
+	return out, fromQS(st), nil
+}
+
+// DeviceStats reports the cumulative block-device counters summed over all
+// shard disks, including block-cache hits and misses when CacheBlocks > 0.
+type DeviceStats struct {
+	BlockReads  int64
+	BlockWrites int64
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// DeviceStats returns the summed per-shard device counters.
+func (ix *ShardedIndex) DeviceStats() DeviceStats {
+	st := ix.sx.DeviceStats()
+	return DeviceStats{
+		BlockReads:  st.BlockReads,
+		BlockWrites: st.BlockWrites,
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+	}
+}
+
+// ResetDeviceStats zeroes the per-shard device counters (used by the scaling
+// experiment to isolate query-phase I/O).
+func (ix *ShardedIndex) ResetDeviceStats() {
+	ix.sx.ResetDeviceStats()
+}
