@@ -199,6 +199,93 @@ func BenchmarkShardedQueryBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexQuery measures the end-to-end fused streaming query
+// pipeline through the public API — exact, approximate, and sharded — with
+// the pre-streaming decode-then-union shape as the baseline. Run with
+// -benchmem: the allocs/op delta between exact and exact-unfused is the
+// headline number for the fused pipeline; blockIO/op pins the I/O model cost
+// unchanged.
+func BenchmarkIndexQuery(b *testing.B) {
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(23))
+	col := make([]uint32, n)
+	for i := range col {
+		col[i] = uint32(rng.Intn(512))
+	}
+	queries := make([]uint32, 256)
+	for i := range queries {
+		queries[i] = uint32(rng.Intn(500))
+	}
+
+	b.Run("exact", func(b *testing.B) {
+		ix, err := Build(col, 512, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reads int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := queries[i%len(queries)]
+			_, st, err := ix.Query(lo, lo+8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reads += int64(st.Reads)
+		}
+		b.ReportMetric(float64(reads)/float64(b.N), "blockIO/op")
+	})
+
+	b.Run("exact-unfused", func(b *testing.B) {
+		ix, err := Build(col, 512, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reads int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := queries[i%len(queries)]
+			_, st, err := ix.ax.QueryUnfused(index.Range{Lo: lo, Hi: lo + 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reads += int64(st.Reads)
+		}
+		b.ReportMetric(float64(reads)/float64(b.N), "blockIO/op")
+	})
+
+	b.Run("approx", func(b *testing.B) {
+		ix, err := Build(col, 512, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := queries[i%len(queries)]
+			if _, _, err := ix.ApproxQuery(lo, lo+8, 0.25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, shards := range []int{4, 8} {
+		b.Run("sharded="+strconv.Itoa(shards), func(b *testing.B) {
+			ix, err := BuildSharded(col, 512, ShardOptions{Shards: shards, Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix.ResetDeviceStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := queries[i%len(queries)]
+				if _, _, err := ix.Query(lo, lo+8); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ix.DeviceStats().BlockReads)/float64(b.N), "blockIO/op")
+		})
+	}
+}
+
 func BenchmarkAppendDirect(b *testing.B)   { benchAppend(b, false) }
 func BenchmarkAppendBuffered(b *testing.B) { benchAppend(b, true) }
 

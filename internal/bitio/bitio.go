@@ -51,6 +51,31 @@ func (w *Writer) Reset() {
 	w.nbit = 0
 }
 
+// Grow ensures capacity for at least nbits further bits without changing the
+// contents, so a reused writer can pre-size for a known output instead of
+// growing through repeated appends.
+func (w *Writer) Grow(nbits int) {
+	if nbits <= 0 {
+		return
+	}
+	need := (w.nbit + nbits + 7) / 8
+	if cap(w.buf) < need {
+		nb := make([]byte, len(w.buf), need)
+		copy(nb, w.buf)
+		w.buf = nb
+	}
+}
+
+// Detach returns the written buffer (final byte zero-padded, exactly as
+// Bytes) and resets the writer to empty without retaining a reference, so the
+// caller takes sole ownership. This is the hand-off that lets pooled builders
+// recycle everything except the bits they return.
+func (w *Writer) Detach() []byte {
+	buf := w.buf
+	w.buf, w.nbit = nil, 0
+	return buf
+}
+
 // WriteBit appends a single bit (any nonzero v writes a 1).
 func (w *Writer) WriteBit(v uint) {
 	if w.nbit&7 == 0 {
@@ -248,6 +273,19 @@ func (r *Reader) Pos() int { return r.pos }
 
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// Sub returns a Reader restricted to the nbits bits starting at absolute bit
+// offset start of r's stream, positioned at the beginning of that range. The
+// sub-reader shares r's buffer but advances independently, which is how the
+// streaming decode pipeline carves per-member streams out of one contiguous
+// extent read. Positions reported by the sub-reader stay in r's absolute
+// coordinates.
+func (r *Reader) Sub(start, nbits int) (Reader, error) {
+	if start < 0 || nbits < 0 || start+nbits > r.nbit {
+		return Reader{}, fmt.Errorf("bitio: Sub range [%d,%d) outside [0,%d]", start, start+nbits, r.nbit)
+	}
+	return Reader{buf: r.buf, nbit: start + nbits, pos: start}, nil
+}
 
 // Seek positions the reader at absolute bit offset pos.
 func (r *Reader) Seek(pos int) error {

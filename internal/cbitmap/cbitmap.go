@@ -75,6 +75,10 @@ type Builder struct {
 	// rely on can then no longer be maintained, so sampling stops (samples
 	// already collected cover the prefix and stay valid).
 	noSamples bool
+	// samplesAliased records that the last Bitmap call handed the sample
+	// slices themselves to the bitmap, so a pooled reuse must not truncate
+	// and refill them in place.
+	samplesAliased bool
 }
 
 // NewBuilder returns a Builder with capacity for sizeHint bits of stream.
@@ -158,31 +162,44 @@ func (bd *Builder) drainIterShifted(cur int64, it *Iter, src *Bitmap, off int64)
 	}
 }
 
-// Bitmap finalises the builder into an immutable bitmap over [0,n).
+// Bitmap finalises the builder into an immutable bitmap over [0,n). The
+// output buffer is detached from the builder's writer, so the bitmap takes
+// sole ownership of its bits and the builder (possibly pooled) can be reused.
 func (bd *Builder) Bitmap(n int64) *Bitmap {
-	b := &Bitmap{n: n, card: bd.card, buf: bd.w.Bytes(), bits: bd.w.Len(), last: bd.prev}
+	bits := bd.w.Len()
+	buf := bd.w.Detach()
+	if cap(buf)-len(buf) > len(buf)/4+64 {
+		// A heavily-deduplicating merge can leave the presized buffer mostly
+		// empty; right-size it so the answer does not retain the slack for
+		// its whole lifetime.
+		buf = append(make([]byte, 0, len(buf)), buf...)
+	}
+	b := &Bitmap{n: n, card: bd.card, buf: buf, bits: bits, last: bd.prev}
 	if bd.card == 0 {
 		b.last = -1
 	}
-	b.attachSamples(bd.samplePos, bd.sampleOff)
+	if b.attachSamples(bd.samplePos, bd.sampleOff) {
+		bd.samplesAliased = true
+	}
 	return b
 }
 
 // attachSamples thins the provisional every-sampleEvery-th samples to a
 // uniform stride whose footprint is at most bits/maxSampleDiv, then attaches
-// them.
-func (b *Bitmap) attachSamples(pos []int64, off []int32) {
+// them. It reports whether the given slices themselves were attached (rather
+// than a thinned copy), in which case the caller must stop mutating them.
+func (b *Bitmap) attachSamples(pos []int64, off []int32) (aliased bool) {
 	if len(pos) == 0 || b.card < minSampleCard {
-		return
+		return false
 	}
 	budget := b.bits / maxSampleDiv / sampleBitsEach // samples we may keep
 	if budget == 0 {
-		return
+		return false
 	}
 	t := (len(pos) + budget - 1) / budget
 	if t == 1 {
 		b.samplePos, b.sampleOff, b.sampleK = pos, off, sampleEvery
-		return
+		return true
 	}
 	keep := len(pos) / t
 	b.samplePos = make([]int64, 0, keep)
@@ -192,6 +209,7 @@ func (b *Bitmap) attachSamples(pos []int64, off []int32) {
 		b.sampleOff = append(b.sampleOff, off[i])
 	}
 	b.sampleK = int64(sampleEvery) * int64(t)
+	return false
 }
 
 // FromPositions builds a bitmap over [0,n) from a strictly increasing
@@ -257,40 +275,34 @@ func (b *Bitmap) EncodeTo(w *bitio.Writer) {
 
 // Decode reads card gamma-coded gaps from r, reconstructing a bitmap over
 // [0,n). This is how bitmaps are read back from disk: the stored stream
-// carries no header, cardinality comes from the node weight. Skip samples are
-// collected during the validation scan, and the stream bits are then copied
-// whole words at a time.
+// carries no header, cardinality comes from the node weight. It is a thin
+// wrapper over the streaming core — a Stream performs the validation scan
+// (collecting skip samples along the way), and the scanned bits are then
+// copied whole words at a time. r is left positioned just past the stream.
 func Decode(r *bitio.Reader, card, n int64) (*Bitmap, error) {
-	prev := int64(-1)
 	start := r.Pos()
+	var s Stream
+	if err := s.InitDecode(r, start, r.Remaining(), card, n, 0); err != nil {
+		return nil, err
+	}
 	var samplePos []int64
 	var sampleOff []int32
 	for i := int64(0); i < card; i++ {
-		g, err := gamma.Read(r)
-		if err != nil {
-			return nil, fmt.Errorf("cbitmap: decode gap %d/%d: %w", i, card, err)
+		p, ok := s.Next()
+		if !ok {
+			return nil, fmt.Errorf("cbitmap: decode gap %d/%d: %w", i, card, s.err)
 		}
-		p := prev + int64(g)
-		if p <= prev || p >= n {
-			// p <= prev catches int64 wrap-around from huge corrupt gaps
-			// (g >= 2^63, or prev+g overflowing) as well as zero gaps.
-			return nil, fmt.Errorf("cbitmap: decoded position %d outside universe [0,%d)", p, n)
-		}
-		prev = p
-		if (i+1)%sampleEvery == 0 && r.Pos()-start <= math.MaxInt32 {
+		if (i+1)%sampleEvery == 0 && s.r.Pos()-start <= math.MaxInt32 {
 			samplePos = append(samplePos, p)
-			sampleOff = append(sampleOff, int32(r.Pos()-start))
+			sampleOff = append(sampleOff, int32(s.r.Pos()-start))
 		}
 	}
-	bits := r.Pos() - start
-	if err := r.Seek(start); err != nil {
-		return nil, err
-	}
+	bits := s.r.Pos() - start
 	w := bitio.NewWriter(bits)
 	if err := w.CopyBits(r, bits); err != nil {
 		return nil, err
 	}
-	b := &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len(), last: prev}
+	b := &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len(), last: s.prev}
 	b.attachSamples(samplePos, sampleOff)
 	return b, nil
 }
@@ -444,86 +456,69 @@ var ErrUniverseMismatch = errors.New("cbitmap: universe size mismatch")
 
 // Union returns the union of the given bitmaps (k-way merge in one pass, as
 // the paper's query algorithm computes the union of the cover's bitmaps).
-// Once a single input remains its tail is copied verbatim, whole words at a
-// time, instead of being decoded and re-encoded.
+// The universe is inferred as the largest input universe; query code that
+// must carry an explicit universe through an empty union uses UnionOver.
 func Union(ms ...*Bitmap) (*Bitmap, error) {
 	var n int64
-	nonEmpty := 0
 	for _, m := range ms {
 		if m.n > n {
 			n = m.n
 		}
-		if m.card > 0 {
-			nonEmpty++
-		}
 	}
+	return UnionOver(n, ms...)
+}
+
+// UnionOver returns the union of the given bitmaps over the explicit
+// universe [0,n): the result carries n even when every input (or the input
+// list itself) is empty, which is what lets query paths drop their
+// empty-union special cases. It is a thin wrapper over MergeStreams, so once
+// a single input remains its tail is copied verbatim, whole words at a time,
+// instead of being decoded and re-encoded.
+func UnionOver(n int64, ms ...*Bitmap) (*Bitmap, error) {
 	for _, m := range ms {
 		if m.n != n && m.card > 0 {
 			return nil, ErrUniverseMismatch
 		}
 	}
-	if nonEmpty <= 8 {
-		// Small covers (the common case: O(1) bitmaps per tree level): the
-		// linear minimum scan beats heap bookkeeping. UnionAll with zero
-		// offsets is exactly that scan, so the merge loop exists once.
-		parts := make([]Shifted, len(ms))
-		for i, m := range ms {
-			parts[i] = Shifted{Bm: m}
-		}
-		return UnionAll(n, parts...)
-	}
-	type head struct {
-		it  Iter
-		src *Bitmap
-		cur int64
-	}
-	heads := make([]head, 0, len(ms))
+	sc := streamScratchPool.Get().(*streamScratch)
+	defer sc.release()
 	for _, m := range ms {
-		it := m.Iter()
-		if p, ok := it.Next(); ok {
-			heads = append(heads, head{it, m, p})
+		if m.card == 0 {
+			continue
 		}
+		var s Stream
+		s.InitBitmap(m, 0)
+		sc.streams = append(sc.streams, s)
 	}
-	bd := NewBuilder(0)
-	// Large fan-in: binary min-heap on the head positions.
-	less := func(i, j int) bool { return heads[i].cur < heads[j].cur }
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < len(heads) && less(l, m) {
-				m = l
-			}
-			if r < len(heads) && less(r, m) {
-				m = r
-			}
-			if m == i {
-				return
-			}
-			heads[i], heads[m] = heads[m], heads[i]
-			i = m
-		}
+	return MergeStreams(n, sc.ptrs()...)
+}
+
+// streamScratch pools the per-merge stream slices used by the Union wrappers.
+type streamScratch struct {
+	streams []Stream
+	ptrs_   []*Stream
+}
+
+var streamScratchPool = sync.Pool{New: func() any { return new(streamScratch) }}
+
+// ptrs returns one pointer per accumulated stream. It is taken only after
+// every append, since appends may move the backing array.
+func (sc *streamScratch) ptrs() []*Stream {
+	sc.ptrs_ = sc.ptrs_[:0]
+	for i := range sc.streams {
+		sc.ptrs_ = append(sc.ptrs_, &sc.streams[i])
 	}
-	for i := len(heads)/2 - 1; i >= 0; i-- {
-		siftDown(i)
-	}
-	for len(heads) > 1 {
-		p := heads[0].cur
-		if p != bd.prev {
-			bd.Add(p)
-		}
-		if np, ok := heads[0].it.Next(); ok {
-			heads[0].cur = np
-		} else {
-			heads[0] = heads[len(heads)-1]
-			heads = heads[:len(heads)-1]
-		}
-		siftDown(0)
-	}
-	if len(heads) == 1 {
-		bd.drainIter(heads[0].cur, &heads[0].it, heads[0].src)
-	}
-	return bd.Bitmap(n), nil
+	return sc.ptrs_
+}
+
+func (sc *streamScratch) release() {
+	// Clear before truncating so idle pool entries do not keep the merged
+	// bitmaps' buffers reachable.
+	clear(sc.streams)
+	clear(sc.ptrs_)
+	sc.streams = sc.streams[:0]
+	sc.ptrs_ = sc.ptrs_[:0]
+	streamScratchPool.Put(sc)
 }
 
 // Shifted pairs a bitmap with a non-negative row-id offset: the pair
@@ -536,22 +531,17 @@ type Shifted struct {
 }
 
 // UnionAll returns the union, over the universe [0,n), of the shifted
-// inputs. When the inputs are pairwise disjoint and arrive in increasing
-// position order — the sharded-query case, where shard i's rows all precede
-// shard i+1's — the merge degenerates to concatenation: only each input's
-// head gap is re-encoded (gaps are relative, so a constant shift leaves
-// every later gap unchanged) and the tail is copied verbatim, whole words at
-// a time. Overlapping or unsorted inputs fall back to a k-way merge with
-// deduplication.
+// inputs. It is a thin wrapper over MergeStreams, which inherits the
+// contiguous-shard fast path: when the inputs are pairwise disjoint and
+// arrive in increasing position order — the sharded-query case, where shard
+// i's rows all precede shard i+1's — the merge degenerates to concatenation,
+// re-encoding only each input's head gap (gaps are relative, so a constant
+// shift leaves every later gap unchanged) and copying the tail verbatim,
+// whole words at a time. Overlapping or unsorted inputs fall back to the
+// k-way merge with deduplication.
 func UnionAll(n int64, parts ...Shifted) (*Bitmap, error) {
-	type head struct {
-		it  Iter
-		src *Bitmap
-		off int64
-		cur int64 // current position, shift applied
-	}
-	heads := make([]head, 0, len(parts))
-	sizeHint := 0
+	sc := streamScratchPool.Get().(*streamScratch)
+	defer sc.release()
 	for _, p := range parts {
 		if p.Bm == nil || p.Bm.card == 0 {
 			continue
@@ -562,48 +552,11 @@ func UnionAll(n int64, parts ...Shifted) (*Bitmap, error) {
 		if p.Off+p.Bm.last >= n {
 			return nil, fmt.Errorf("cbitmap: shifted position %d outside universe [0,%d)", p.Off+p.Bm.last, n)
 		}
-		it := p.Bm.Iter()
-		p0, _ := it.Next()
-		heads = append(heads, head{it: it, src: p.Bm, off: p.Off, cur: p0 + p.Off})
-		sizeHint += p.Bm.bits
+		var s Stream
+		s.InitBitmap(p.Bm, p.Off)
+		sc.streams = append(sc.streams, s)
 	}
-	bd := NewBuilder(sizeHint)
-	concat := true
-	for i := 1; i < len(heads); i++ {
-		if heads[i-1].src.last+heads[i-1].off >= heads[i].cur {
-			concat = false // overlapping or out of order
-			break
-		}
-	}
-	if concat {
-		for i := range heads {
-			bd.drainIterShifted(heads[i].cur, &heads[i].it, heads[i].src, heads[i].off)
-		}
-		return bd.Bitmap(n), nil
-	}
-	// General case: linear minimum scan over the heads (fan-in here is the
-	// shard count, small enough that heap bookkeeping would not pay).
-	for len(heads) > 1 {
-		mi := 0
-		for i := 1; i < len(heads); i++ {
-			if heads[i].cur < heads[mi].cur {
-				mi = i
-			}
-		}
-		if p := heads[mi].cur; p != bd.prev { // dedupe
-			bd.Add(p)
-		}
-		if np, ok := heads[mi].it.Next(); ok {
-			heads[mi].cur = np + heads[mi].off
-		} else {
-			heads[mi] = heads[len(heads)-1]
-			heads = heads[:len(heads)-1]
-		}
-	}
-	if len(heads) == 1 {
-		bd.drainIterShifted(heads[0].cur, &heads[0].it, heads[0].src, heads[0].off)
-	}
-	return bd.Bitmap(n), nil
+	return MergeStreams(n, sc.ptrs()...)
 }
 
 // Intersect returns the intersection of a and b.
@@ -656,23 +609,19 @@ func Difference(a, b *Bitmap) (*Bitmap, error) {
 }
 
 // Complement returns [0,n) \ b. This realises the paper's dense-answer trick:
-// when z > n/2 the query returns the complement of two sparse queries. Runs
-// of consecutive absent positions become runs of single-bit gap-1 codes,
-// written whole words at a time by AddRun.
+// when z > n/2 the query returns the complement of two sparse queries. It is
+// a single-stream MergeStreamsComplement: runs of consecutive absent
+// positions become runs of single-bit gap-1 codes, written whole words at a
+// time by AddRun.
 func (b *Bitmap) Complement() *Bitmap {
-	bd := NewBuilder(0)
-	next := int64(0)
-	it := b.Iter()
-	for p, ok := it.Next(); ok; p, ok = it.Next() {
-		if next < p {
-			bd.AddRun(next, p-next)
-		}
-		next = p + 1
+	var s Stream
+	s.InitBitmap(b, 0)
+	out, err := MergeStreamsComplement(b.n, &s)
+	if err != nil {
+		// Unreachable: bitmap-backed streams decode their own validated bits.
+		panic(err)
 	}
-	if next < b.n {
-		bd.AddRun(next, b.n-next)
-	}
-	return bd.Bitmap(b.n)
+	return out
 }
 
 // Equal reports whether a and b contain the same positions over the same

@@ -1,0 +1,348 @@
+// Fused streaming decode-merge pipeline.
+//
+// A Stream decodes a gap-encoded position set lazily, straight from a
+// bitio.Reader — either a Bitmap's own buffer or a sub-range of bits freshly
+// read from disk — so a query can merge the bitmaps of a cover without ever
+// materialising them. MergeStreams is the k-way merge that writes the union
+// (or, fused, its complement) directly into a Builder: each gap in the input
+// is decoded exactly once, and the Builder, merge heads and output writer all
+// come from sync.Pools, so a steady-state merge allocates only the bitmap it
+// returns.
+//
+// The encoding stays canonical: MergeStreams produces byte-identical streams
+// to decode-then-Union, which the differential and fuzz tests pin.
+package cbitmap
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/gamma"
+)
+
+// Stream is a cardinality-bounded source of strictly increasing positions
+// decoded on demand from a gamma-coded gap stream, optionally shifted by a
+// constant row-id offset (gaps are relative, so the shift is free per
+// element). The zero value is an exhausted stream.
+type Stream struct {
+	r    bitio.Reader
+	left int64 // elements not yet produced
+	prev int64 // last produced position (shift applied); off-1 initially
+	off  int64 // shift added to every position
+	vmax int64 // exclusive validation bound (shift applied); 0 disables
+	last int64 // largest position (shift applied) when known up front, else -1
+	err  error
+}
+
+// InitDecode initialises s to decode card gamma-coded gaps from the bit range
+// [start, start+bits) of r's underlying stream, validating every position
+// against the universe [0,n) and shifting it by off. The reader state is
+// captured by value: traversing the stream never moves r, and the stream can
+// never read past its own bit range into a neighbouring member's bits.
+func (s *Stream) InitDecode(r *bitio.Reader, start, bits int, card, n, off int64) error {
+	sub, err := r.Sub(start, bits)
+	if err != nil {
+		return err
+	}
+	if card > 0 && n <= 0 {
+		// vmax = off+n would read as "validation disabled" when off and n are
+		// both zero; an empty universe cannot hold any position, so reject
+		// the cardinality outright instead.
+		return fmt.Errorf("cbitmap: stream of %d positions in empty universe [0,%d)", card, n)
+	}
+	*s = Stream{r: sub, left: card, prev: off - 1, off: off, vmax: off + n, last: -1}
+	return nil
+}
+
+// InitBitmap initialises s to produce b's positions shifted by off. The
+// positions were validated when b was built, so traversal skips validation,
+// and b's largest position is known up front — which is what lets a merge
+// drain a last remaining bitmap-backed stream by verbatim tail copy.
+func (s *Stream) InitBitmap(b *Bitmap, off int64) {
+	*s = Stream{left: b.card, prev: off - 1, off: off, last: -1}
+	s.r.Init(b.buf, b.bits)
+	if b.card > 0 {
+		s.last = b.last + off
+	}
+}
+
+// Left returns the number of positions not yet produced.
+func (s *Stream) Left() int64 { return s.left }
+
+// Err returns the first decode or validation error encountered, if any.
+// A stream that fails reports exhaustion from Next and records the error
+// here, so merges surface corruption instead of truncating silently.
+func (s *Stream) Err() error { return s.err }
+
+// Next returns the next position, or ok=false when the stream is exhausted
+// or has failed (see Err). The gamma fast path is open-coded as in Iter.Next:
+// one peeked window decodes the whole gap code in the common case.
+func (s *Stream) Next() (pos int64, ok bool) {
+	if s.left == 0 {
+		return 0, false
+	}
+	if w, avail := s.r.Peek64(); w != 0 {
+		z := bits.LeadingZeros64(w)
+		if total := 2*z + 1; total <= avail {
+			s.r.SkipBits(total)
+			p := s.prev + int64(w>>uint(64-total))
+			if s.vmax > 0 && (p <= s.prev || p >= s.vmax) {
+				return 0, s.failPosition(p)
+			}
+			s.prev = p
+			s.left--
+			return p, true
+		}
+	}
+	return s.nextSlow()
+}
+
+// nextSlow decodes a gap that did not fit the peek window (huge values, or a
+// window truncated by the end of the stream) through gamma.Read, which is
+// also where corrupt streams surface.
+func (s *Stream) nextSlow() (int64, bool) {
+	g, err := gamma.Read(&s.r)
+	if err != nil {
+		s.err = fmt.Errorf("cbitmap: stream decode with %d gaps pending: %w", s.left, err)
+		s.left = 0
+		return 0, false
+	}
+	p := s.prev + int64(g)
+	if s.vmax > 0 && (p <= s.prev || p >= s.vmax) {
+		// p <= prev catches int64 wrap-around from huge corrupt gaps as well
+		// as zero gaps (cf. Decode).
+		return 0, s.failPosition(p)
+	}
+	s.prev = p
+	s.left--
+	return p, true
+}
+
+// failPosition records an out-of-universe decode and exhausts the stream.
+func (s *Stream) failPosition(p int64) bool {
+	s.err = fmt.Errorf("cbitmap: decoded position %d outside universe [0,%d)", p-s.off, s.vmax-s.off)
+	s.left = 0
+	return false
+}
+
+// drainInto appends the stream's pending head position cur (already produced
+// by the caller) and every remaining position to bd. When the stream's
+// largest position is known (bitmap-backed streams) the tail is copied
+// verbatim, whole words at a time; otherwise (disk-backed streams) the tail
+// is scanned once for validation and the scanned bits are then copied
+// verbatim — either way only the head gap is re-encoded, since gaps are
+// relative and a constant shift leaves every later gap unchanged.
+func (s *Stream) drainInto(bd *Builder, cur int64) error {
+	if cur != bd.prev {
+		bd.Add(cur)
+	}
+	remaining := s.left
+	nbits := s.r.Remaining()
+	if s.last < 0 {
+		start := s.r
+		for s.left > 0 {
+			if _, ok := s.Next(); !ok {
+				return s.err
+			}
+		}
+		s.last = s.prev
+		nbits = s.r.Pos() - start.Pos() // copy exactly the scanned bits
+		s.r = start
+	}
+	if err := bd.w.CopyBits(&s.r, nbits); err != nil {
+		return err
+	}
+	bd.card += remaining
+	if s.last > bd.prev {
+		bd.prev = s.last
+	}
+	if remaining > 0 {
+		bd.noSamples = true
+	}
+	s.left = 0
+	return nil
+}
+
+// mergeHead is one input of a k-way merge: a stream plus its pending head.
+type mergeHead struct {
+	s   *Stream
+	cur int64
+}
+
+// mergeScratch pools the merge's head slice across queries.
+type mergeScratch struct {
+	heads []mergeHead
+}
+
+var mergeScratchPool = sync.Pool{New: func() any { return new(mergeScratch) }}
+
+// builderPool recycles Builders between merges. Builder.Bitmap detaches the
+// output buffer (bitio.Writer.Detach), so a pooled builder hands each caller
+// sole ownership of the bits it returns while keeping its own bookkeeping
+// state — and, unless the previous output aliased them, its sample slices.
+var builderPool = sync.Pool{New: func() any { return &Builder{w: bitio.NewWriter(0), prev: -1} }}
+
+// reset prepares a pooled Builder for reuse, pre-sizing the output buffer
+// for sizeHint bits.
+func (bd *Builder) reset(sizeHint int) {
+	bd.w.Reset()
+	bd.w.Grow(sizeHint)
+	bd.prev = -1
+	bd.card = 0
+	bd.noSamples = false
+	if bd.samplesAliased {
+		bd.samplePos, bd.sampleOff = nil, nil
+		bd.samplesAliased = false
+	} else {
+		bd.samplePos = bd.samplePos[:0]
+		bd.sampleOff = bd.sampleOff[:0]
+	}
+}
+
+// MergeStreams unions the streams' position sets into a bitmap over [0,n),
+// deduplicating equal positions, in a single decode pass — the fused
+// decode-merge at the heart of the query pipeline. Streams whose position
+// ranges are pairwise disjoint and arrive in increasing order degenerate to
+// concatenation with verbatim tail copies; large fan-ins merge through a
+// binary min-heap on the head positions, small ones through a linear minimum
+// scan. The universe is explicit, so an empty union still carries it.
+func MergeStreams(n int64, streams ...*Stream) (*Bitmap, error) {
+	return mergeStreams(n, false, streams)
+}
+
+// MergeStreamsComplement merges like MergeStreams but writes the complement
+// [0,n) \ ∪streams — the paper's dense-answer trick fused into the same
+// single pass, so the union itself is never materialised.
+func MergeStreamsComplement(n int64, streams ...*Stream) (*Bitmap, error) {
+	return mergeStreams(n, true, streams)
+}
+
+func mergeStreams(n int64, complement bool, streams []*Stream) (*Bitmap, error) {
+	ms := mergeScratchPool.Get().(*mergeScratch)
+	heads := ms.heads[:0]
+	sizeHint := 0
+	var err error
+	for _, s := range streams {
+		sizeHint += s.r.Remaining()
+		if p, ok := s.Next(); ok {
+			heads = append(heads, mergeHead{s: s, cur: p})
+		} else if s.err != nil {
+			err = s.err
+			break
+		}
+	}
+	ms.heads = heads // keep the (possibly regrown) backing array
+	var out *Bitmap
+	if err == nil {
+		bd := builderPool.Get().(*Builder)
+		bd.reset(sizeHint)
+		out, err = runMerge(bd, n, complement, heads)
+		builderPool.Put(bd)
+	}
+	// Drop the stream references so an idle pool entry does not keep the
+	// inputs' buffers reachable.
+	clear(ms.heads)
+	mergeScratchPool.Put(ms)
+	return out, err
+}
+
+// runMerge executes the merge loop over the primed heads, writing into bd.
+func runMerge(bd *Builder, n int64, complement bool, heads []mergeHead) (*Bitmap, error) {
+	if !complement {
+		// Concatenation fast path: every stream's largest position is known
+		// and strictly precedes the next stream's head — the sharded-query
+		// case, where shard i's rows all precede shard i+1's. Only head gaps
+		// are re-encoded; tails are copied verbatim, whole words at a time.
+		concat := len(heads) > 0
+		for i := range heads {
+			if heads[i].s.last < 0 || (i > 0 && heads[i-1].s.last >= heads[i].cur) {
+				concat = false
+				break
+			}
+		}
+		if concat {
+			for i := range heads {
+				if err := heads[i].s.drainInto(bd, heads[i].cur); err != nil {
+					return nil, err
+				}
+			}
+			return bd.Bitmap(n), nil
+		}
+	}
+	next := int64(0) // complement: first position not yet ruled out
+	// Large fan-in: binary min-heap on the head positions. Small fan-in (the
+	// common case: O(1) bitmaps per tree level): linear minimum scan.
+	useHeap := len(heads) > 8
+	var siftDown func(int)
+	if useHeap {
+		siftDown = func(i int) {
+			for {
+				l, r := 2*i+1, 2*i+2
+				m := i
+				if l < len(heads) && heads[l].cur < heads[m].cur {
+					m = l
+				}
+				if r < len(heads) && heads[r].cur < heads[m].cur {
+					m = r
+				}
+				if m == i {
+					return
+				}
+				heads[i], heads[m] = heads[m], heads[i]
+				i = m
+			}
+		}
+		for i := len(heads)/2 - 1; i >= 0; i-- {
+			siftDown(i)
+		}
+	}
+	// The union drains the final stream verbatim; the complement must decode
+	// to the very end, since inverting reorders nothing but rewrites all.
+	stop := 1
+	if complement {
+		stop = 0
+	}
+	for len(heads) > stop {
+		mi := 0
+		if !useHeap {
+			for i := 1; i < len(heads); i++ {
+				if heads[i].cur < heads[mi].cur {
+					mi = i
+				}
+			}
+		}
+		if p := heads[mi].cur; complement {
+			if p >= next { // p < next is a duplicate
+				if p > next {
+					bd.AddRun(next, p-next)
+				}
+				next = p + 1
+			}
+		} else if p != bd.prev { // dedupe
+			bd.Add(p)
+		}
+		if np, ok := heads[mi].s.Next(); ok {
+			heads[mi].cur = np
+		} else {
+			if err := heads[mi].s.err; err != nil {
+				return nil, err
+			}
+			heads[mi] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		if useHeap {
+			siftDown(mi)
+		}
+	}
+	if !complement && len(heads) == 1 {
+		if err := heads[0].s.drainInto(bd, heads[0].cur); err != nil {
+			return nil, err
+		}
+	}
+	if complement && next < n {
+		bd.AddRun(next, n-next)
+	}
+	return bd.Bitmap(n), nil
+}

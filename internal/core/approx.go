@@ -289,33 +289,36 @@ func Intersect(rs ...*Result) (*Result, error) {
 	return &Result{N: n, Exact: bm}, nil
 }
 
-// readHashChunk reads the j-th hashed frontier of cover subtree v.
-func (ax *Approx) readHashChunk(tc *iomodel.Touch, v *Node, j int, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
+// readHashStreams reads, in one contiguous scan, the j-th hashed frontier of
+// cover subtree v and appends one decode stream per member to sc — the
+// hashed-set analogue of Optimal.readCoverStreams.
+func (ax *Approx) readHashStreams(tc *iomodel.Touch, v *Node, j int, sc *queryScratch, stats *index.QueryStats) error {
 	li := ax.levelFor(v.Depth)
 	lv := &ax.levels[li]
 	i, jj, err := lv.chunk(v.Start, v.End)
 	if err != nil {
-		return ms, err
+		return err
 	}
 	arr := &ax.hmaps[li].perJ[j-1]
 	span := iomodel.Extent{
 		Off:  arr.exts[i].Off,
 		Bits: arr.exts[jj-1].End() - arr.exts[i].Off,
 	}
-	rd, err := tc.Reader(span)
-	if err != nil {
-		return ms, err
+	cb := sc.nextBuf()
+	if err := tc.ReaderInto(span, cb.w); err != nil {
+		return err
 	}
+	cb.r.Init(cb.w.Bytes(), cb.w.Len())
 	stats.BitsRead += span.Bits
 	univ := int64(1) << uint(1<<uint(j))
 	for k := i; k < jj; k++ {
-		bm, err := cbitmap.Decode(rd, arr.cards[k], univ)
-		if err != nil {
-			return ms, fmt.Errorf("core: hashed level j=%d member %d: %w", j, k, err)
+		var s cbitmap.Stream
+		if err := s.InitDecode(&cb.r, int(arr.exts[k].Off-span.Off), int(arr.exts[k].Bits), arr.cards[k], univ, 0); err != nil {
+			return fmt.Errorf("core: hashed level j=%d member %d: %w", j, k, err)
 		}
-		ms = append(ms, bm)
+		sc.streams = append(sc.streams, s)
 	}
-	return ms, nil
+	return nil
 }
 
 // ApproxQuery answers I[lo;hi] with false-positive probability at most eps
@@ -331,6 +334,7 @@ func (ax *Approx) ApproxQuery(r index.Range, eps float64) (*Result, index.QueryS
 		return nil, stats, fmt.Errorf("core: eps %v outside (0,1)", eps)
 	}
 	tc := ax.disk.NewTouch()
+	defer tc.Close()
 	aLo, err := tc.ReadBits(ax.aExt.Off+int64(r.Lo)*64, 64)
 	if err != nil {
 		return nil, stats, err
@@ -359,22 +363,22 @@ func (ax *Approx) ApproxQuery(r index.Range, eps float64) (*Result, index.QueryS
 		return &Result{N: ax.tree.n, Exact: exact}, st, nil
 	}
 
-	var ms []*cbitmap.Bitmap
+	// Fused streaming pipeline over the hashed frontier: the cover members'
+	// gap streams merge directly into the answer set, decoding each bit read
+	// exactly once (cf. Optimal.Query).
+	sc := getScratch()
+	defer sc.release()
 	cover := ax.tree.Cover(qlo, qhi, func(v *Node) { ax.layout.charge(tc, v) })
 	for _, v := range cover {
 		ax.layout.charge(tc, v)
-		ms, err = ax.readHashChunk(tc, v, j, ms, &stats)
-		if err != nil {
+		if err := ax.readHashStreams(tc, v, j, sc, &stats); err != nil {
 			return nil, stats, err
 		}
 	}
-	set, err := cbitmap.Union(ms...)
+	univ := int64(1) << uint(1<<uint(j))
+	set, err := cbitmap.MergeStreams(univ, sc.streamPtrs()...)
 	if err != nil {
 		return nil, stats, err
-	}
-	univ := int64(1) << uint(1<<uint(j))
-	if set.Universe() < univ {
-		set = cbitmap.Empty(univ)
 	}
 	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	return &Result{N: ax.tree.n, J: j, H: ax.hs[j-1], Set: set}, stats, nil

@@ -472,12 +472,9 @@ func (ax *AppendIndex) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, 
 			ms = append(ms, bm)
 		}
 	}
-	out, err := cbitmap.Union(ms...)
+	out, err := cbitmap.UnionOver(ax.n, ms...)
 	if err != nil {
 		return nil, stats, err
-	}
-	if out.Universe() < ax.n {
-		out = cbitmap.Empty(ax.n)
 	}
 	if complement {
 		out = out.Complement()

@@ -424,12 +424,9 @@ func (dx *Dynamic) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, erro
 	if err != nil {
 		return nil, stats, err
 	}
-	out, err := cbitmap.Union(ms...)
+	out, err := cbitmap.UnionOver(dx.n, ms...)
 	if err != nil {
 		return nil, stats, err
-	}
-	if out.Universe() < dx.n {
-		out = cbitmap.Empty(dx.n)
 	}
 	if complement {
 		out = out.Complement()

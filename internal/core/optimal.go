@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/cbitmap"
@@ -11,6 +12,63 @@ import (
 	"repro/internal/iomodel"
 	"repro/internal/workload"
 )
+
+// chunkBuf holds one materialised cover-chunk extent: the pooled writer the
+// bits are copied into and a reader over them. Reusing the writer across
+// queries makes chunk reads allocation-free at steady state.
+type chunkBuf struct {
+	w *bitio.Writer
+	r bitio.Reader
+}
+
+// queryScratch is the pooled per-query state of the fused streaming
+// pipeline: one decode stream per cover member, plus the extent buffers the
+// streams read from. A query borrows a scratch, accumulates streams while
+// walking the cover, merges, and releases — so the steady-state query path
+// allocates little beyond the answer it returns.
+type queryScratch struct {
+	streams []cbitmap.Stream
+	ptrs    []*cbitmap.Stream
+	bufs    []*chunkBuf
+	used    int // bufs handed out this query
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func getScratch() *queryScratch { return scratchPool.Get().(*queryScratch) }
+
+func (sc *queryScratch) release() {
+	// Clear the stream structs before truncating: they reference the chunk
+	// buffers, and an idle pool entry should retain only the buffers it owns
+	// (sc.bufs), not stale views of them.
+	clear(sc.streams)
+	clear(sc.ptrs)
+	sc.streams = sc.streams[:0]
+	sc.ptrs = sc.ptrs[:0]
+	sc.used = 0
+	scratchPool.Put(sc)
+}
+
+// nextBuf hands out a reset chunk buffer, growing the pool of buffers the
+// first time a query needs more chunks than any before it.
+func (sc *queryScratch) nextBuf() *chunkBuf {
+	if sc.used == len(sc.bufs) {
+		sc.bufs = append(sc.bufs, &chunkBuf{w: bitio.NewWriter(0)})
+	}
+	cb := sc.bufs[sc.used]
+	sc.used++
+	return cb
+}
+
+// streamPtrs returns one pointer per accumulated stream; it is taken only
+// after the cover walk finishes, since appends may move the backing array.
+func (sc *queryScratch) streamPtrs() []*cbitmap.Stream {
+	sc.ptrs = sc.ptrs[:0]
+	for i := range sc.streams {
+		sc.ptrs = append(sc.ptrs, &sc.streams[i])
+	}
+	return sc.ptrs
+}
 
 // OptimalOptions configures the Theorem 2 structure.
 type OptimalOptions struct {
@@ -221,8 +279,111 @@ func (ox *Optimal) levelFor(d int) int {
 	return i
 }
 
+// readCoverStreams reads, in one contiguous scan, the frontier of cover
+// subtree v and appends one decode stream per member to sc: no member bitmap
+// is materialised, and the downstream merge decodes each gap exactly once.
+func (ox *Optimal) readCoverStreams(tc *iomodel.Touch, v *Node, sc *queryScratch, stats *index.QueryStats) error {
+	lv := &ox.levels[ox.levelFor(v.Depth)]
+	i, j, err := lv.chunk(v.Start, v.End)
+	if err != nil {
+		return err
+	}
+	span := iomodel.Extent{
+		Off:  lv.members[i].ext.Off,
+		Bits: lv.members[j-1].ext.End() - lv.members[i].ext.Off,
+	}
+	cb := sc.nextBuf()
+	if err := tc.ReaderInto(span, cb.w); err != nil {
+		return err
+	}
+	cb.r.Init(cb.w.Bytes(), cb.w.Len())
+	stats.BitsRead += span.Bits
+	for k := i; k < j; k++ {
+		m := &lv.members[k]
+		var s cbitmap.Stream
+		if err := s.InitDecode(&cb.r, int(m.ext.Off-span.Off), int(m.ext.Bits), m.card, ox.tree.n, 0); err != nil {
+			return fmt.Errorf("core: depth %d member %d: %w", lv.depth, k, err)
+		}
+		sc.streams = append(sc.streams, s)
+	}
+	return nil
+}
+
+// queryStreams collects the streams answering a record-range query: one per
+// member of the range's canonical cover frontier.
+func (ox *Optimal) queryStreams(tc *iomodel.Touch, qlo, qhi int64, sc *queryScratch, stats *index.QueryStats) error {
+	if qlo >= qhi {
+		return nil
+	}
+	cover := ox.tree.Cover(qlo, qhi, func(v *Node) { ox.layout.charge(tc, v) })
+	for _, v := range cover {
+		ox.layout.charge(tc, v)
+		if err := ox.readCoverStreams(tc, v, sc, stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query implements index.Index. It computes z from the on-disk prefix array,
+// applies the complement trick for dense answers, decomposes the record
+// range into its canonical cover and fuses decode and merge into a single
+// streaming pass: the cover members' gap streams feed cbitmap.MergeStreams
+// (or, on the dense path, MergeStreamsComplement) directly, so no
+// intermediate per-chunk bitmap is ever materialised and every bit read is
+// decoded exactly once.
+func (ox *Optimal) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	var stats index.QueryStats
+	if err := r.Valid(ox.tree.sigma); err != nil {
+		return nil, stats, err
+	}
+	tc := ox.disk.NewTouch()
+	defer tc.Close()
+	// Read A[lo] and A[hi+1] to compute z (O(1) I/Os).
+	aLo, err := tc.ReadBits(ox.aExt.Off+int64(r.Lo)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	aHi, err := tc.ReadBits(ox.aExt.Off+int64(r.Hi+1)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	qlo, qhi := int64(aLo), int64(aHi)
+	z := qhi - qlo
+	n := ox.tree.n
+
+	sc := getScratch()
+	defer sc.release()
+	complement := z > n/2 && !ox.opts.NoComplement
+	if complement {
+		// Answer the two complementary queries and return the complement of
+		// their union (§2.1), fused into the same merge pass.
+		err = ox.queryStreams(tc, 0, qlo, sc, &stats)
+		if err == nil {
+			err = ox.queryStreams(tc, qhi, n, sc, &stats)
+		}
+	} else {
+		err = ox.queryStreams(tc, qlo, qhi, sc, &stats)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	var out *cbitmap.Bitmap
+	if complement {
+		out, err = cbitmap.MergeStreamsComplement(n, sc.streamPtrs()...)
+	} else {
+		out, err = cbitmap.MergeStreams(n, sc.streamPtrs()...)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+	return out, stats, nil
+}
+
 // readCoverChunk reads, in one contiguous scan, the frontier bitmaps of the
-// cover subtree v and appends them to ms.
+// cover subtree v and appends them to ms. It is the pre-streaming
+// materialising path, retained for QueryUnfused.
 func (ox *Optimal) readCoverChunk(tc *iomodel.Touch, v *Node, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
 	lv := &ox.levels[ox.levelFor(v.Depth)]
 	i, j, err := lv.chunk(v.Start, v.End)
@@ -248,7 +409,8 @@ func (ox *Optimal) readCoverChunk(tc *iomodel.Touch, v *Node, ms []*cbitmap.Bitm
 	return ms, nil
 }
 
-// queryRecords answers a record-range query: union of the cover frontiers.
+// queryRecords answers a record-range query by materialising the cover
+// frontier bitmaps (QueryUnfused's decode stage).
 func (ox *Optimal) queryRecords(tc *iomodel.Touch, qlo, qhi int64, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
 	if qlo >= qhi {
 		return ms, nil
@@ -265,16 +427,19 @@ func (ox *Optimal) queryRecords(tc *iomodel.Touch, qlo, qhi int64, ms []*cbitmap
 	return ms, nil
 }
 
-// Query implements index.Index. It computes z from the on-disk prefix array,
-// applies the complement trick for dense answers, decomposes the record
-// range into its canonical cover and merges the frontier bitmaps.
-func (ox *Optimal) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+// QueryUnfused answers exactly like Query but through the pre-streaming
+// decode-then-merge shape: every cover member is materialised as its own
+// bitmap with cbitmap.Decode and the bitmaps are then unioned in a second
+// pass. It is retained as the differential-testing oracle and the allocation
+// baseline the fused pipeline is measured against; answers are bit-identical
+// to Query's.
+func (ox *Optimal) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
 	var stats index.QueryStats
 	if err := r.Valid(ox.tree.sigma); err != nil {
 		return nil, stats, err
 	}
 	tc := ox.disk.NewTouch()
-	// Read A[lo] and A[hi+1] to compute z (O(1) I/Os).
+	defer tc.Close()
 	aLo, err := tc.ReadBits(ox.aExt.Off+int64(r.Lo)*64, 64)
 	if err != nil {
 		return nil, stats, err
@@ -290,8 +455,6 @@ func (ox *Optimal) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, erro
 	var ms []*cbitmap.Bitmap
 	complement := z > n/2 && !ox.opts.NoComplement
 	if complement {
-		// Answer the two complementary queries and return the complement of
-		// their union (§2.1).
 		ms, err = ox.queryRecords(tc, 0, qlo, ms, &stats)
 		if err == nil {
 			ms, err = ox.queryRecords(tc, qhi, n, ms, &stats)
@@ -302,12 +465,9 @@ func (ox *Optimal) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, erro
 	if err != nil {
 		return nil, stats, err
 	}
-	out, err := cbitmap.Union(ms...)
+	out, err := cbitmap.UnionOver(n, ms...)
 	if err != nil {
 		return nil, stats, err
-	}
-	if out.Universe() < n {
-		out = cbitmap.Empty(n) // all-empty union defaults to zero universe
 	}
 	if complement {
 		out = out.Complement()

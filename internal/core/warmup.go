@@ -201,12 +201,9 @@ func (wx *Warmup) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error
 	if err != nil {
 		return nil, stats, err
 	}
-	out, err := cbitmap.Union(ms...)
+	out, err := cbitmap.UnionOver(wx.n, ms...)
 	if err != nil {
 		return nil, stats, err
-	}
-	if out.Universe() < wx.n {
-		out = cbitmap.Empty(wx.n)
 	}
 	if complement {
 		out = out.Complement()

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/bitio"
@@ -86,6 +87,10 @@ type Disk struct {
 	freed    int64 // number of blocks currently on the free list
 	stats    Stats
 	cache    *blockCache // nil unless Config.CacheBlocks > 0
+	// touches recycles Touch sessions: the per-session block sets are maps,
+	// and clearing them on Close is far cheaper than reallocating them for
+	// every query in the steady-state pooled pipeline.
+	touches sync.Pool
 }
 
 // ErrInvalidRange reports an out-of-bounds disk access.
@@ -303,10 +308,23 @@ type Touch struct {
 	charged int
 }
 
-// NewTouch opens an accounting session.
+// NewTouch opens an accounting session, reusing a Closed one when available.
 func (d *Disk) NewTouch() *Touch {
 	d.stats.Sessions.Add(1)
+	if t, ok := d.touches.Get().(*Touch); ok {
+		return t
+	}
 	return &Touch{d: d, reads: make(map[BlockID]struct{}), writes: make(map[BlockID]struct{})}
+}
+
+// Close returns the session to the disk for reuse by a later NewTouch. The
+// Touch must not be used afterwards; sessions that skip Close are simply
+// garbage collected. Read the session's counters before closing.
+func (t *Touch) Close() {
+	clear(t.reads)
+	clear(t.writes)
+	t.charged = 0
+	t.d.touches.Put(t)
 }
 
 // Reads returns the number of block reads this session paid for: distinct
@@ -387,24 +405,36 @@ func (t *Touch) WriteBits(pos int64, v uint64, n int) error {
 // Reader returns a bitio.Reader over the extent, charging a read for every
 // block the extent spans (the query algorithms scan whole bitmaps).
 func (t *Touch) Reader(ext Extent) (*bitio.Reader, error) {
+	w := bitio.NewWriter(int(ext.Bits))
+	if err := t.ReaderInto(ext, w); err != nil {
+		return nil, err
+	}
+	return bitio.NewReader(w.Bytes(), w.Len()), nil
+}
+
+// ReaderInto materialises the extent into w (which is reset first), charging
+// the same block reads as Reader; the caller then reads the bits back from
+// w's buffer. Passing a writer retained across operations makes repeated
+// extent reads allocation-free, which is how the fused query pipeline keeps
+// its per-chunk scratch out of the garbage collector.
+func (t *Touch) ReaderInto(ext Extent, w *bitio.Writer) error {
+	w.Reset()
 	if ext.Bits == 0 {
-		return bitio.NewReader(nil, 0), nil
+		return nil
 	}
 	if ext.Off < 0 || ext.End() > t.d.tailBits {
-		return nil, ErrInvalidRange
+		return ErrInvalidRange
 	}
 	t.markRead(t.d.blockOf(ext.Off), t.d.blockOf(ext.End()-1))
 	// Materialise the extent as a byte-aligned buffer (a copy, so later
 	// writes to the device never alias a live reader), whole words at a time.
-	src := bitio.NewReader(t.d.buf[:(ext.End()+7)/8], int(ext.End()))
+	var src bitio.Reader
+	src.Init(t.d.buf[:(ext.End()+7)/8], int(ext.End()))
 	if err := src.Seek(int(ext.Off)); err != nil {
-		return nil, err
+		return err
 	}
-	w := bitio.NewWriter(int(ext.Bits))
-	if err := w.CopyBits(src, int(ext.Bits)); err != nil {
-		return nil, err
-	}
-	return bitio.NewReader(w.Bytes(), w.Len()), nil
+	w.Grow(int(ext.Bits))
+	return w.CopyBits(&src, int(ext.Bits))
 }
 
 // WriteStream overwrites the bits of ext with the contents of w, whose

@@ -8,9 +8,11 @@
 // in max-per-shard rather than sum I/O time, and the aggregate query counters
 // report exactly the same total block transfers as one device would (plus
 // per-shard tree overhead). Shard builds and queries run through one bounded
-// worker pool; merges use cbitmap.UnionAll, whose contiguous-shard fast path
-// re-encodes only each shard's head gap and copies the rest of the
-// compressed answer verbatim.
+// worker pool. Each per-shard query runs the fused streaming pipeline
+// (decode and merge in one pass over the bits read, cbitmap.MergeStreams),
+// and the per-shard answers feed the same merge via cbitmap.UnionAll with
+// row-id offsetting: its contiguous-shard fast path re-encodes only each
+// shard's head gap and copies the rest of the compressed answer verbatim.
 package shard
 
 import (
@@ -257,7 +259,11 @@ func (sx *Index) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QuerySta
 				sl.mu.Unlock()
 				if ready {
 					// The completing worker merges, pipelined with other
-					// ranges' shard queries still in flight.
+					// ranges' shard queries still in flight. UnionAll feeds
+					// the shard answers through the streaming k-way merge
+					// with head-gap offsetting; shard answers are disjoint
+					// and ordered, so the merge degenerates to verbatim
+					// concatenation.
 					out, err := cbitmap.UnionAll(sx.n, sl.parts...)
 					sl.mu.Lock()
 					sl.out, sl.err = out, err

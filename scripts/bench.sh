@@ -3,14 +3,14 @@
 # BENCH_<tag>.json so the perf trajectory is tracked from PR to PR.
 #
 # Usage: scripts/bench.sh [tag] [count]
-#   tag    suffix for the output file (default: 2, matching this PR's number)
+#   tag    suffix for the output file (default: 3, matching this PR's number)
 #   count  benchmark repetitions (default: 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-2}"
+TAG="${1:-3}"
 COUNT="${2:-3}"
-PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode|BenchmarkShardedQuery|BenchmarkShardedQueryBatch'
+PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode|BenchmarkShardedQuery|BenchmarkShardedQueryBatch|BenchmarkIndexQuery'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

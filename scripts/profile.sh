@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Capture CPU and allocation pprof profiles for the end-to-end query
+# benchmarks, so regressions in the fused streaming pipeline can be
+# attributed to a function rather than guessed at.
+#
+# Usage: scripts/profile.sh [bench-regex] [outdir]
+#   bench-regex  benchmarks to profile (default: BenchmarkIndexQuery)
+#   outdir       where to write cpu.pprof / mem.pprof / bench.txt
+#                (default: profiles/)
+# Env: BENCHTIME overrides the per-benchmark time (default 2s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-BenchmarkIndexQuery}"
+OUT="${2:-profiles}"
+mkdir -p "$OUT"
+
+go test -run '^$' -bench "$PATTERN" -benchmem \
+  -benchtime "${BENCHTIME:-2s}" \
+  -cpuprofile "$OUT/cpu.pprof" -memprofile "$OUT/mem.pprof" \
+  -o "$OUT/bench.test" . | tee "$OUT/bench.txt"
+
+echo
+echo "== top CPU =="
+go tool pprof -top -nodecount 15 "$OUT/bench.test" "$OUT/cpu.pprof" | sed -n '1,22p'
+echo
+echo "== top allocated objects =="
+go tool pprof -top -nodecount 15 -sample_index=alloc_objects "$OUT/bench.test" "$OUT/mem.pprof" | sed -n '1,22p'
+echo
+echo "profiles written to $OUT/ (inspect with: go tool pprof $OUT/bench.test $OUT/cpu.pprof)"

@@ -53,6 +53,19 @@ func (r *Result) Card() int64 { return r.bm.Card() }
 // Rows materialises the result as a sorted row-id slice.
 func (r *Result) Rows() []int64 { return r.bm.Positions() }
 
+// ForEach calls yield for every row id in increasing order, decoding the
+// compressed answer in place, and stops early if yield returns false. It is
+// the allocation-free way to consume a result: nothing is materialised, in
+// keeping with the streaming query pipeline that produced it.
+func (r *Result) ForEach(yield func(row int64) bool) {
+	it := r.bm.Iter()
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		if !yield(p) {
+			return
+		}
+	}
+}
+
 // Contains reports whether row i is in the result.
 func (r *Result) Contains(i int64) bool { return r.bm.Contains(i) }
 

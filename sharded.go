@@ -29,9 +29,11 @@ type ShardOptions struct {
 // ShardedIndex partitions the column into contiguous row-range shards, each
 // a static Index (Theorem 2) on its own simulated disk — the I/O model's
 // view of parallel storage as independent block devices. Queries fan out
-// across shards through a bounded worker pool and the compressed per-shard
-// answers are merged with row-id offsetting; results are identical, bit for
-// bit, to a single unsharded Index over the same column.
+// across shards through a bounded worker pool; each shard runs the fused
+// streaming pipeline (decode and merge in one pass over the bits it reads)
+// and the compressed per-shard answers feed the same streaming merge with
+// row-id offsetting. Results are identical, bit for bit, to a single
+// unsharded Index over the same column.
 type ShardedIndex struct {
 	sx *shard.Index
 }

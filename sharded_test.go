@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"repro/internal/index"
 )
 
 // TestShardedDifferential is the differential property test: on random
@@ -72,6 +74,46 @@ func assertSameResult(t *testing.T, got, want *Result, x []uint32, lo, hi uint32
 		p := (i * 997) % int64(len(x))
 		if got.Contains(p) != want.Contains(p) {
 			t.Fatalf("shards=%d [%d,%d]: Contains(%d) disagrees", shards, lo, hi, p)
+		}
+	}
+}
+
+// TestShardedFusedVsUnfusedOracle pins the whole fused pipeline end to end:
+// the sharded answer (per-shard fused streaming queries, merged with row-id
+// offsetting) must be bit-identical to the pre-streaming decode-then-union
+// oracle on an unsharded index, including ranges dense enough to take the
+// complement path.
+func TestShardedFusedVsUnfusedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 3; trial++ {
+		n := 1500 + rng.Intn(4000)
+		sigma := []int{8, 128, 700}[trial]
+		x := randColumn(n, sigma, int64(200+trial))
+		ref, err := Build(x, sigma, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 3, 5} {
+			ix, err := BuildSharded(x, sigma, ShardOptions{Options: Options{Seed: 5}, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 20; q++ {
+				lo := uint32(rng.Intn(sigma))
+				hi := lo + uint32(rng.Intn(sigma-int(lo)))
+				if q == 0 {
+					lo, hi = 0, uint32(sigma-1) // densest possible: complement path
+				}
+				want, _, err := ref.ax.QueryUnfused(index.Range{Lo: lo, Hi: hi})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := ix.Query(lo, hi)
+				if err != nil {
+					t.Fatalf("shards=%d [%d,%d]: %v", shards, lo, hi, err)
+				}
+				assertSameResult(t, got, &Result{bm: want}, x, lo, hi, shards)
+			}
 		}
 	}
 }
