@@ -289,6 +289,33 @@ func BenchmarkIndexQuery(b *testing.B) {
 func BenchmarkAppendDirect(b *testing.B)   { benchAppend(b, false) }
 func BenchmarkAppendBuffered(b *testing.B) { benchAppend(b, true) }
 
+// BenchmarkRebuild measures the full build/rebuild pipeline of the
+// semi-dynamic index: every iteration re-runs the global rebuild (skeleton +
+// one encoded member chain per node per materialised level) on a fresh
+// device. Run with -benchmem: allocs/op is the headline number for the fused
+// streaming write path.
+func BenchmarkRebuild(b *testing.B) {
+	for _, variant := range []struct {
+		name     string
+		buffered bool
+	}{{"direct", false}, {"buffered", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			col := benchColumn(1<<14, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+				ax, err := core.BuildAppendIndex(d, col, core.AppendOptions{Buffered: variant.buffered})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(ax.SizeBits())/float64(col.Len()), "bits/char")
+				}
+			}
+		})
+	}
+}
+
 func benchAppend(b *testing.B, buffered bool) {
 	col := benchColumn(1024, 64)
 	d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})

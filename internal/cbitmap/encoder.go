@@ -1,0 +1,170 @@
+// StreamEncoder: the write-path half of the fused streaming pipeline.
+//
+// Queries fuse decode and merge (stream.go); construction and rebuilds fuse
+// merge and encode. A StreamEncoder aims the package's single canonical
+// encoding path (Builder) at a caller-supplied bitio.Writer — typically a
+// pooled writer whose contents are handed straight to an iomodel extent or
+// chain — so building a member bitmap from sorted position sources never
+// materialises an intermediate Bitmap, position slice, or throwaway buffer.
+// The output is byte-identical to encode-via-Bitmap, which the differential
+// and fuzz tests pin.
+package cbitmap
+
+import (
+	"sync"
+
+	"repro/internal/bitio"
+)
+
+// StreamEncoder writes a gap-encoded position stream directly into a
+// caller-supplied writer. The zero value is unusable; call Init (or InitAt)
+// first. Skip samples are never collected: the encoder's output goes to
+// disk, and samples are an in-memory acceleration that is never serialized.
+type StreamEncoder struct {
+	bd Builder
+}
+
+// Init aims e at w, starting a fresh stream (first gap is encoded relative
+// to position -1, the package's canonical head encoding).
+func (e *StreamEncoder) Init(w *bitio.Writer) { e.InitAt(w, -1) }
+
+// InitAt aims e at w as a continuation of an existing stream whose last
+// position is prev — the chained-file append case, where the tail of a
+// member's gap stream is extended in place. Card counts only positions
+// encoded since this call.
+func (e *StreamEncoder) InitAt(w *bitio.Writer, prev int64) {
+	e.bd = Builder{w: w, prev: prev, noSamples: true}
+}
+
+// Add appends position p, which must exceed every position encoded so far
+// (including the InitAt continuation point).
+func (e *StreamEncoder) Add(p int64) { e.bd.Add(p) }
+
+// AddRun appends count consecutive positions start, start+1, …, written as
+// whole words of single-bit gap-1 codes after the first element.
+func (e *StreamEncoder) AddRun(start, count int64) { e.bd.AddRun(start, count) }
+
+// Card returns the number of positions encoded since Init/InitAt.
+func (e *StreamEncoder) Card() int64 { return e.bd.card }
+
+// Last returns the last position encoded, or the InitAt continuation point
+// (-1 after a fresh Init) when nothing has been added yet.
+func (e *StreamEncoder) Last() int64 { return e.bd.prev }
+
+// MergeStreams unions the streams' position sets into the output, one decode
+// per input gap, through the same k-way merge core the query pipeline uses
+// (concatenation fast path with verbatim tail copies included). Every merged
+// position must exceed every position already encoded.
+func (e *StreamEncoder) MergeStreams(streams ...*Stream) error {
+	ms := mergeScratchPool.Get().(*mergeScratch)
+	heads, _, err := primeHeads(ms, streams)
+	if err == nil {
+		err = runMerge(&e.bd, 0, false, heads)
+	}
+	clear(ms.heads)
+	mergeScratchPool.Put(ms)
+	return err
+}
+
+// sliceMergeHead is one input of a sorted-slice merge: the cached head
+// position plus (list, next-element) cursors into the caller's fixed list-of
+// -lists. Heads are plain values with no pointers, so heap swaps trigger no
+// write barriers — the merge's inner loop stays memory-quiet.
+type sliceMergeHead struct {
+	cur int64
+	li  int32 // index into the caller's lists
+	idx int32 // next unconsumed element of lists[li]
+}
+
+// sliceMergeScratch pools the head slice across encoder merges, so a rebuild
+// that re-encodes thousands of members allocates no per-member scratch.
+type sliceMergeScratch struct {
+	heads []sliceMergeHead
+}
+
+var sliceMergePool = sync.Pool{New: func() any { return new(sliceMergeScratch) }}
+
+// MergeSortedSlices encodes the union of the given sorted position slices —
+// the shape of every rebuild source in this repository: per-character
+// occurrence lists, each sorted, pairwise disjoint. Small fan-ins merge
+// through a linear minimum scan, large ones through a binary min-heap on the
+// head positions, mirroring MergeStreams. The output is byte-identical to
+// sorting the concatenation and encoding it through a Builder.
+func (e *StreamEncoder) MergeSortedSlices(lists ...[]int64) {
+	sc := sliceMergePool.Get().(*sliceMergeScratch)
+	heads := sc.heads[:0]
+	for li, l := range lists {
+		if len(l) > 0 {
+			heads = append(heads, sliceMergeHead{cur: l[0], li: int32(li), idx: 1})
+		}
+	}
+	sc.heads = heads
+	switch len(heads) {
+	case 0:
+	case 1:
+		e.bd.Add(heads[0].cur)
+		e.drainList(lists[heads[0].li][1:])
+	default:
+		e.mergeSliceHeads(lists, heads)
+	}
+	sliceMergePool.Put(sc)
+}
+
+// drainList encodes the remaining positions of the last surviving list.
+func (e *StreamEncoder) drainList(rest []int64) {
+	for _, p := range rest {
+		e.bd.Add(p)
+	}
+}
+
+// mergeSliceHeads runs the k-way minimum merge over ≥2 primed heads.
+func (e *StreamEncoder) mergeSliceHeads(lists [][]int64, heads []sliceMergeHead) {
+	useHeap := len(heads) > 8
+	var siftDown func(int)
+	if useHeap {
+		siftDown = func(i int) {
+			for {
+				l, r := 2*i+1, 2*i+2
+				m := i
+				if l < len(heads) && heads[l].cur < heads[m].cur {
+					m = l
+				}
+				if r < len(heads) && heads[r].cur < heads[m].cur {
+					m = r
+				}
+				if m == i {
+					return
+				}
+				heads[i], heads[m] = heads[m], heads[i]
+				i = m
+			}
+		}
+		for i := len(heads)/2 - 1; i >= 0; i-- {
+			siftDown(i)
+		}
+	}
+	for len(heads) > 1 {
+		mi := 0
+		if !useHeap {
+			for i := 1; i < len(heads); i++ {
+				if heads[i].cur < heads[mi].cur {
+					mi = i
+				}
+			}
+		}
+		h := &heads[mi]
+		e.bd.Add(h.cur)
+		if l := lists[h.li]; int(h.idx) < len(l) {
+			h.cur = l[h.idx]
+			h.idx++
+		} else {
+			heads[mi] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		if useHeap {
+			siftDown(mi)
+		}
+	}
+	e.bd.Add(heads[0].cur)
+	e.drainList(lists[heads[0].li][heads[0].idx:])
+}

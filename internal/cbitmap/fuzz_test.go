@@ -1,6 +1,8 @@
 package cbitmap
 
 import (
+	"bytes"
+	"slices"
 	"testing"
 
 	"repro/internal/bitio"
@@ -249,6 +251,91 @@ func FuzzAlgebraLaws(f *testing.F) {
 		// Complement involution.
 		if !Equal(a, a.Complement().Complement()) {
 			t.Fatal("complement not an involution")
+		}
+	})
+}
+
+// FuzzStreamEncoder: the write-path encoder must be byte-identical to the
+// Builder/Bitmap path for arbitrary position sets, through both of its merge
+// feeds — sorted slices (rebuild sources) and decode streams (merge-fed
+// construction) — and through the InitAt continuation used by chain appends.
+func FuzzStreamEncoder(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200}, []byte{2, 90}, []byte{5})
+	f.Add([]byte{}, []byte{0}, []byte{})
+	f.Add([]byte{0xff, 0xfe, 0xfd}, []byte{}, []byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, araw, braw, craw []byte) {
+		n := int64(1 << 12)
+		raws := [][]byte{araw, braw, craw}
+		// Deal distinct positions into three disjoint sorted lists.
+		seen := make(map[int64]struct{})
+		lists := make([][]int64, 3)
+		var all []int64
+		for li, raw := range raws {
+			for i, v := range raw {
+				p := (int64(v)*31 + int64(i)*257) % n
+				if _, dup := seen[p]; dup {
+					continue
+				}
+				seen[p] = struct{}{}
+				lists[li] = append(lists[li], p)
+				all = append(all, p)
+			}
+			slices.Sort(lists[li])
+		}
+		want, err := FromUnsorted(n, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantW := bitio.NewWriter(want.SizeBits())
+		want.EncodeTo(wantW)
+
+		// Feed 1: sorted slices.
+		w1 := bitio.NewWriter(0)
+		var e1 StreamEncoder
+		e1.Init(w1)
+		e1.MergeSortedSlices(lists...)
+		if e1.Card() != want.Card() || !bytes.Equal(w1.Bytes(), wantW.Bytes()) || w1.Len() != want.SizeBits() {
+			t.Fatalf("slice-fed encoder differs: card %d want %d", e1.Card(), want.Card())
+		}
+
+		// Feed 2: decode streams over the per-list bitmaps.
+		streams := make([]*Stream, 0, 3)
+		for _, l := range lists {
+			bm, err := FromPositions(n, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := new(Stream)
+			s.InitBitmap(bm, 0)
+			streams = append(streams, s)
+		}
+		w2 := bitio.NewWriter(0)
+		var e2 StreamEncoder
+		e2.Init(w2)
+		if err := e2.MergeStreams(streams...); err != nil {
+			t.Fatal(err)
+		}
+		if e2.Card() != want.Card() || !bytes.Equal(w2.Bytes(), wantW.Bytes()) {
+			t.Fatal("stream-fed encoder differs from Builder path")
+		}
+
+		// Feed 3: continuation — split the sorted set at an arbitrary point
+		// and encode the tail through InitAt, as chain appends do.
+		slices.Sort(all)
+		cut := len(all) / 2
+		w3 := bitio.NewWriter(0)
+		var e3 StreamEncoder
+		e3.Init(w3)
+		for _, p := range all[:cut] {
+			e3.Add(p)
+		}
+		var e4 StreamEncoder
+		e4.InitAt(w3, e3.Last())
+		for _, p := range all[cut:] {
+			e4.Add(p)
+		}
+		if !bytes.Equal(w3.Bytes(), wantW.Bytes()) || w3.Len() != want.SizeBits() {
+			t.Fatal("continued encoder differs from Builder path")
 		}
 	})
 }

@@ -68,6 +68,19 @@ func (s *Stream) InitBitmap(b *Bitmap, off int64) {
 	}
 }
 
+// InitBitmapBounded initialises s like InitBitmap but re-validates every
+// position against the universe [0,n). It is for bitmaps built over a larger
+// universe than the merge target (e.g. point-index answers over the fixed
+// position space feeding a merge over the current column length): a position
+// at or above n surfaces as a decode error from the merge instead of
+// silently landing in the output. The largest position is deliberately not
+// taken on faith, so the verbatim drain fast path gives way to a validating
+// scan.
+func (s *Stream) InitBitmapBounded(b *Bitmap, off, n int64) {
+	*s = Stream{left: b.card, prev: off - 1, off: off, vmax: off + n, last: -1}
+	s.r.Init(b.buf, b.bits)
+}
+
 // Left returns the number of positions not yet produced.
 func (s *Stream) Left() int64 { return s.left }
 
@@ -219,8 +232,10 @@ func MergeStreamsComplement(n int64, streams ...*Stream) (*Bitmap, error) {
 	return mergeStreams(n, true, streams)
 }
 
-func mergeStreams(n int64, complement bool, streams []*Stream) (*Bitmap, error) {
-	ms := mergeScratchPool.Get().(*mergeScratch)
+// primeHeads pulls the first position of every stream into ms.heads and
+// returns the primed heads plus the total remaining input bits (the output
+// size hint). A stream that fails on its first decode surfaces its error.
+func primeHeads(ms *mergeScratch, streams []*Stream) ([]mergeHead, int, error) {
 	heads := ms.heads[:0]
 	sizeHint := 0
 	var err error
@@ -234,11 +249,19 @@ func mergeStreams(n int64, complement bool, streams []*Stream) (*Bitmap, error) 
 		}
 	}
 	ms.heads = heads // keep the (possibly regrown) backing array
+	return heads, sizeHint, err
+}
+
+func mergeStreams(n int64, complement bool, streams []*Stream) (*Bitmap, error) {
+	ms := mergeScratchPool.Get().(*mergeScratch)
+	heads, sizeHint, err := primeHeads(ms, streams)
 	var out *Bitmap
 	if err == nil {
 		bd := builderPool.Get().(*Builder)
 		bd.reset(sizeHint)
-		out, err = runMerge(bd, n, complement, heads)
+		if err = runMerge(bd, n, complement, heads); err == nil {
+			out = bd.Bitmap(n)
+		}
 		builderPool.Put(bd)
 	}
 	// Drop the stream references so an idle pool entry does not keep the
@@ -248,8 +271,11 @@ func mergeStreams(n int64, complement bool, streams []*Stream) (*Bitmap, error) 
 	return out, err
 }
 
-// runMerge executes the merge loop over the primed heads, writing into bd.
-func runMerge(bd *Builder, n int64, complement bool, heads []mergeHead) (*Bitmap, error) {
+// runMerge executes the merge loop over the primed heads, writing into bd —
+// which may be a pooled query builder (mergeStreams) or a StreamEncoder's
+// builder aimed at a construction writer, the fusion that lets merges feed
+// the write path as well as queries.
+func runMerge(bd *Builder, n int64, complement bool, heads []mergeHead) error {
 	if !complement {
 		// Concatenation fast path: every stream's largest position is known
 		// and strictly precedes the next stream's head — the sharded-query
@@ -265,10 +291,10 @@ func runMerge(bd *Builder, n int64, complement bool, heads []mergeHead) (*Bitmap
 		if concat {
 			for i := range heads {
 				if err := heads[i].s.drainInto(bd, heads[i].cur); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			return bd.Bitmap(n), nil
+			return nil
 		}
 	}
 	next := int64(0) // complement: first position not yet ruled out
@@ -327,7 +353,7 @@ func runMerge(bd *Builder, n int64, complement bool, heads []mergeHead) (*Bitmap
 			heads[mi].cur = np
 		} else {
 			if err := heads[mi].s.err; err != nil {
-				return nil, err
+				return err
 			}
 			heads[mi] = heads[len(heads)-1]
 			heads = heads[:len(heads)-1]
@@ -338,11 +364,11 @@ func runMerge(bd *Builder, n int64, complement bool, heads []mergeHead) (*Bitmap
 	}
 	if !complement && len(heads) == 1 {
 		if err := heads[0].s.drainInto(bd, heads[0].cur); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if complement && next < n {
 		bd.AddRun(next, n-next)
 	}
-	return bd.Bitmap(n), nil
+	return nil
 }

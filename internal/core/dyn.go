@@ -110,6 +110,11 @@ type AppendIndex struct {
 	RebuildCount int
 	// GlobalRebuildCount counts full rebuilds.
 	GlobalRebuildCount int
+
+	// unfusedRebuild routes member re-encoding through the pre-streaming
+	// oracle (writeMemberChainUnfused); set by differential tests that grow
+	// twin indexes through both write paths.
+	unfusedRebuild bool
 }
 
 // BuildAppendIndex constructs the structure over an initial column (which
@@ -134,12 +139,21 @@ func BuildAppendIndex(d *iomodel.Disk, col workload.Column, opts AppendOptions) 
 	if opts.Buffered && ax.bufCap < 4 {
 		return nil, fmt.Errorf("core: block size %d bits holds fewer than 4 buffered appends", d.BlockBits())
 	}
-	for i, ch := range col.X {
+	// Count first so each character's position list is allocated exactly
+	// once; append-growth over σ lists otherwise dominates build allocations.
+	for _, ch := range col.X {
 		if int(ch) >= col.Sigma {
 			return nil, fmt.Errorf("core: character %d outside alphabet [0,%d)", ch, col.Sigma)
 		}
-		ax.byChar[ch] = append(ax.byChar[ch], int64(i))
 		ax.counts[ch]++
+	}
+	for ch, cnt := range ax.counts {
+		if cnt > 0 {
+			ax.byChar[ch] = make([]int64, 0, cnt)
+		}
+	}
+	for i, ch := range col.X {
+		ax.byChar[ch] = append(ax.byChar[ch], int64(i))
 		ax.n++
 	}
 	ax.rebuildAll(d.NewTouch())
@@ -292,7 +306,33 @@ func (ax *AppendIndex) memberLevelOf(v *dynNode) int {
 }
 
 // writeMemberChain encodes the node's current position set into its chain.
+// The sorted per-character occurrence lists merge straight into a pooled
+// writer through a StreamEncoder — the fused streaming rebuild: no
+// concatenated position slice, no sort, no throwaway encode buffer. The
+// encoded stream is byte-identical to the former sort-then-encode path
+// (pinned by the rebuild differential test); the head gap is p+1, exactly
+// the package's canonical head encoding relative to position -1.
 func (ax *AppendIndex) writeMemberChain(tc *iomodel.Touch, m *dynMember) {
+	if ax.unfusedRebuild {
+		ax.writeMemberChainUnfused(tc, m)
+		return
+	}
+	w := getChainWriter()
+	defer putChainWriter(w)
+	var enc cbitmap.StreamEncoder
+	enc.Init(w)
+	enc.MergeSortedSlices(ax.byChar[m.node.lo : m.node.hi+1]...)
+	m.card = enc.Card()
+	m.lastPos = enc.Last()
+	if err := m.chain.Replace(tc, w); err != nil {
+		panic(fmt.Sprintf("core: chain replace: %v", err))
+	}
+}
+
+// writeMemberChainUnfused is the pre-streaming encode path — materialise the
+// sorted position slice, then gamma-encode gap by gap — retained as the
+// differential oracle the fused writeMemberChain is pinned against.
+func (ax *AppendIndex) writeMemberChainUnfused(tc *iomodel.Touch, m *dynMember) {
 	pos := ax.positions(m.node.lo, m.node.hi)
 	w := bitio.NewWriter(len(pos) * 8)
 	for i, p := range pos {
@@ -447,16 +487,19 @@ func (ax *AppendIndex) readMemberSet(tc *iomodel.Touch, m *dynMember, stats *ind
 }
 
 // appendToChain appends position pos to member m's chain (tail block only).
+// The single gap code is staged through a pooled writer: one gamma code per
+// direct append, no per-append allocation. lastPos is -1 exactly when the
+// chain is empty, so the continuation encoder's head gap pos-(-1) = pos+1
+// coincides with the canonical head encoding.
 func (ax *AppendIndex) appendToChain(tc *iomodel.Touch, m *dynMember, pos int64) error {
-	w := bitio.NewWriter(16)
-	if m.card == 0 {
-		gamma.Write(w, uint64(pos+1))
-	} else {
-		if pos <= m.lastPos {
-			return fmt.Errorf("core: append of position %d out of order (last %d)", pos, m.lastPos)
-		}
-		gamma.Write(w, uint64(pos-m.lastPos))
+	if pos <= m.lastPos {
+		return fmt.Errorf("core: append of position %d out of order (last %d)", pos, m.lastPos)
 	}
+	w := getChainWriter()
+	defer putChainWriter(w)
+	var enc cbitmap.StreamEncoder
+	enc.InitAt(w, m.lastPos)
+	enc.Add(pos)
 	if err := m.chain.Append(tc, w); err != nil {
 		return err
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/bitio"
 	"repro/internal/cbitmap"
 	"repro/internal/index"
 	"repro/internal/iomodel"
@@ -25,6 +24,7 @@ func (ax *AppendIndex) Append(ch uint32) (index.QueryStats, error) {
 		return stats, fmt.Errorf("core: position %d outside encodable range", pos)
 	}
 	tc := ax.disk.NewTouch()
+	defer tc.Close()
 	if ax.opts.Buffered {
 		ax.rootBuf = append(ax.rootBuf, dynEntry{ch: ch, pos: pos})
 		if len(ax.rootBuf) >= ax.bufCap {
@@ -192,12 +192,16 @@ func (ax *AppendIndex) readMemberBuf(tc *iomodel.Touch, m *dynMember) ([]dynEntr
 	return es, nil
 }
 
-// writeMemberBuf stores a member's buffered appends, charging one write.
+// writeMemberBuf stores a member's buffered appends, charging one write. The
+// entries are staged through a pooled writer, so steady-state buffer churn
+// does not allocate.
 func (ax *AppendIndex) writeMemberBuf(tc *iomodel.Touch, m *dynMember, es []dynEntry) error {
 	if len(es) > ax.bufCap {
 		return fmt.Errorf("core: append buffer overflow (%d > %d)", len(es), ax.bufCap)
 	}
-	w := bitio.NewWriter(len(es) * dynEntryBits)
+	w := getChainWriter()
+	defer putChainWriter(w)
+	w.Grow(len(es) * dynEntryBits)
 	for _, e := range es {
 		w.WriteBits(uint64(e.ch), 32)
 		w.WriteBits(uint64(e.pos), 48)
@@ -219,16 +223,30 @@ func (ax *AppendIndex) isTerminal(m *dynMember) bool {
 // arrive in position order (the convoy property: all entries destined to a
 // member travel together through its ancestors, preserving FIFO = position
 // order). Entries at or below lastPos were already applied, possibly by a
-// rebuild.
+// rebuild. The whole batch is gap-encoded into one pooled writer — a
+// StreamEncoder continuing the chain's stream at lastPos — and appended with
+// a single chain write: the same bits land in the same tail blocks as
+// entry-at-a-time appends, so the charged I/Os are unchanged, but the
+// per-entry encode buffer is gone.
 func (ax *AppendIndex) applyEntries(tc *iomodel.Touch, m *dynMember, es []dynEntry) error {
+	w := getChainWriter()
+	defer putChainWriter(w)
+	var enc cbitmap.StreamEncoder
+	enc.InitAt(w, m.lastPos)
 	for _, e := range es {
-		if e.pos <= m.lastPos {
+		if e.pos <= enc.Last() {
 			continue
 		}
-		if err := ax.appendToChain(tc, m, e.pos); err != nil {
-			return err
-		}
+		enc.Add(e.pos)
 	}
+	if enc.Card() == 0 {
+		return nil
+	}
+	if err := m.chain.Append(tc, w); err != nil {
+		return err
+	}
+	m.card += enc.Card()
+	m.lastPos = enc.Last()
 	return nil
 }
 
@@ -364,7 +382,82 @@ func (ax *AppendIndex) Count(lo, hi uint32) int64 {
 	return z
 }
 
-// queryChars unions the cover of [lo,hi] into ms.
+// queryCharStreams collects, into sc, one decode stream per member of the
+// cover of [lo,hi] — each member's chain is read once into a pooled chunk
+// buffer and decoded lazily by the downstream merge, so no member bitmap is
+// ever materialised. Pending buffered appends overlay as one small bitmap
+// stream per cover node. I/O charging is identical to the materialising
+// oracle (queryChars): the same chains, buffers and structure blocks are
+// touched.
+func (ax *AppendIndex) queryCharStreams(tc *iomodel.Touch, lo, hi uint32, sc *queryScratch, stats *index.QueryStats) error {
+	if lo > hi {
+		return nil
+	}
+	for _, u := range ax.coverChars(tc, lo, hi) {
+		ax.chargeNode(tc, u)
+		li := ax.levelForDepth(u.depth)
+		i, j, err := ax.membersWithin(li, u.lo, u.hi)
+		if err != nil {
+			return err
+		}
+		var pend []int64
+		for k := i; k < j; k++ {
+			m := ax.levels[li][k]
+			cb := sc.nextBuf()
+			if err := m.chain.ReadAllInto(tc, cb.w); err != nil {
+				return err
+			}
+			stats.BitsRead += m.chain.Bits()
+			cb.r.Init(cb.w.Bytes(), cb.w.Len())
+			var s cbitmap.Stream
+			if err := s.InitDecode(&cb.r, 0, cb.w.Len(), m.card, ax.n, 0); err != nil {
+				return fmt.Errorf("core: member chain at level %d: %w", li, err)
+			}
+			sc.streams = append(sc.streams, s)
+			if ax.opts.Buffered && !ax.isTerminal(m) {
+				// Pending appends in the frontier member's own buffer.
+				es, err := ax.readMemberBuf(tc, m)
+				if err != nil {
+					return err
+				}
+				for _, e := range es {
+					if e.pos > m.lastPos {
+						pend = append(pend, e.pos)
+					}
+				}
+			}
+		}
+		if ax.opts.Buffered {
+			// Pending appends in the buffers of u's materialised ancestors.
+			for la := 0; la < li; la++ {
+				m := ax.memberFor(la, u.lo)
+				if m == nil || ax.isTerminal(m) {
+					continue
+				}
+				es, err := ax.readMemberBuf(tc, m)
+				if err != nil {
+					return err
+				}
+				for _, e := range es {
+					if e.ch >= u.lo && e.ch <= u.hi {
+						pend = append(pend, e.pos)
+					}
+				}
+			}
+		}
+		if len(pend) > 0 {
+			bm, err := cbitmap.FromUnsorted(ax.n, pend)
+			if err != nil {
+				return err
+			}
+			sc.addBitmapStream(bm, ax.n)
+		}
+	}
+	return nil
+}
+
+// queryChars unions the cover of [lo,hi] into ms. It is the pre-streaming
+// materialising path, retained as QueryUnfused's decode stage.
 func (ax *AppendIndex) queryChars(tc *iomodel.Touch, lo, hi uint32, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
 	if lo > hi {
 		return ms, nil
@@ -426,13 +519,92 @@ func (ax *AppendIndex) queryChars(tc *iomodel.Touch, lo, hi uint32, ms []*cbitma
 	return ms, nil
 }
 
-// Query implements index.Index.
+// rootBufPending collects the positions of in-memory root-buffer appends
+// whose character falls on the queried (or, for dense answers, complement)
+// side, as one bitmap over [0,n); nil when there are none.
+func (ax *AppendIndex) rootBufPending(lo, hi uint32, complement bool) (*cbitmap.Bitmap, error) {
+	var pend []int64
+	for _, e := range ax.rootBuf {
+		in := e.ch >= lo && e.ch <= hi
+		if complement {
+			in = !in
+		}
+		if in {
+			pend = append(pend, e.pos)
+		}
+	}
+	if len(pend) == 0 {
+		return nil, nil
+	}
+	return cbitmap.FromUnsorted(ax.n, pend)
+}
+
+// Query implements index.Index. It decomposes the character range into its
+// cover and fuses decode and merge into a single streaming pass: every
+// member chain's gap stream feeds cbitmap.MergeStreams (or, on the dense
+// path, MergeStreamsComplement) directly through pooled chunk buffers, so no
+// member bitmap is ever materialised and each gap is decoded exactly once —
+// the same shape the static Optimal.Query runs.
 func (ax *AppendIndex) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
 	var stats index.QueryStats
 	if err := r.Valid(ax.sigma); err != nil {
 		return nil, stats, err
 	}
 	tc := ax.disk.NewTouch()
+	defer tc.Close()
+	z := ax.Count(r.Lo, r.Hi)
+	complement := z > ax.n/2
+	sc := getScratch()
+	defer sc.release()
+	var err error
+	if complement {
+		if r.Lo > 0 {
+			err = ax.queryCharStreams(tc, 0, r.Lo-1, sc, &stats)
+		}
+		if err == nil && int(r.Hi) < ax.sigma-1 {
+			err = ax.queryCharStreams(tc, r.Hi+1, uint32(ax.sigma-1), sc, &stats)
+		}
+	} else {
+		err = ax.queryCharStreams(tc, r.Lo, r.Hi, sc, &stats)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	if ax.opts.Buffered {
+		bm, err := ax.rootBufPending(r.Lo, r.Hi, complement)
+		if err != nil {
+			return nil, stats, err
+		}
+		if bm != nil {
+			sc.addBitmapStream(bm, ax.n)
+		}
+	}
+	var out *cbitmap.Bitmap
+	if complement {
+		out, err = cbitmap.MergeStreamsComplement(ax.n, sc.streamPtrs()...)
+	} else {
+		out, err = cbitmap.MergeStreams(ax.n, sc.streamPtrs()...)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+	return out, stats, nil
+}
+
+// QueryUnfused answers exactly like Query but through the pre-streaming
+// decode-then-merge shape: every cover member chain is materialised as its
+// own bitmap and the bitmaps are then unioned (and, on the dense path,
+// complemented) in separate passes. It is retained as the differential
+// oracle and allocation baseline the fused pipeline is pinned against;
+// answers and I/O stats are bit-identical to Query's.
+func (ax *AppendIndex) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	var stats index.QueryStats
+	if err := r.Valid(ax.sigma); err != nil {
+		return nil, stats, err
+	}
+	tc := ax.disk.NewTouch()
+	defer tc.Close()
 	z := ax.Count(r.Lo, r.Hi)
 	complement := z > ax.n/2
 	var ms []*cbitmap.Bitmap
@@ -452,23 +624,11 @@ func (ax *AppendIndex) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, 
 	}
 	// Root-buffer (in-memory) pending appends.
 	if ax.opts.Buffered {
-		var pend []int64
-		inRange := func(c uint32) bool {
-			if complement {
-				return c < r.Lo || c > r.Hi
-			}
-			return c >= r.Lo && c <= r.Hi
+		bm, err := ax.rootBufPending(r.Lo, r.Hi, complement)
+		if err != nil {
+			return nil, stats, err
 		}
-		for _, e := range ax.rootBuf {
-			if inRange(e.ch) {
-				pend = append(pend, e.pos)
-			}
-		}
-		if len(pend) > 0 {
-			bm, err := cbitmap.FromUnsorted(ax.n, pend)
-			if err != nil {
-				return nil, stats, err
-			}
+		if bm != nil {
 			ms = append(ms, bm)
 		}
 	}

@@ -363,21 +363,59 @@ func (dx *Dynamic) levelForDepth(d int) int {
 	return i
 }
 
-// queryChars unions the point queries of the cover of [lo,hi].
+// binsWithin returns the bin index range [i,j) at level li tiling the char
+// range [lo,hi] of a cover node at that level's frontier.
+func (dx *Dynamic) binsWithin(li int, lo, hi uint32) (int, int, error) {
+	bins := dx.members[li]
+	i := sort.Search(len(bins), func(j int) bool { return bins[j].lo >= lo })
+	j := i
+	for j < len(bins) && bins[j].hi <= hi {
+		j++
+	}
+	if i == j || bins[i].lo != lo || bins[j-1].hi != hi {
+		return 0, 0, fmt.Errorf("core: bins do not tile chars [%d,%d] at level %d", lo, hi, li)
+	}
+	return i, j, nil
+}
+
+// queryCharStreams collects, into sc, one stream per point query of the
+// cover of [lo,hi]. The point index answers over its own fixed position
+// universe, but the positions are global row ids below n, so each result
+// feeds the merge over [0,n) directly — the decode → Positions → re-encode
+// rebase of the materialising path is gone.
+func (dx *Dynamic) queryCharStreams(lo, hi uint32, sc *queryScratch, stats *index.QueryStats) error {
+	if lo > hi {
+		return nil
+	}
+	for _, u := range dx.coverChars(lo, hi) {
+		li := dx.levelForDepth(u.depth)
+		i, j, err := dx.binsWithin(li, u.lo, u.hi)
+		if err != nil {
+			return err
+		}
+		for k := i; k < j; k++ {
+			bm, st, err := dx.points[li].PointQuery(uint32(k))
+			if err != nil {
+				return err
+			}
+			stats.Add(st)
+			sc.addBitmapStream(bm, dx.n)
+		}
+	}
+	return nil
+}
+
+// queryChars unions the point queries of the cover of [lo,hi]. It is the
+// pre-streaming materialising path, retained as QueryUnfused's decode stage.
 func (dx *Dynamic) queryChars(lo, hi uint32, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
 	if lo > hi {
 		return ms, nil
 	}
 	for _, u := range dx.coverChars(lo, hi) {
 		li := dx.levelForDepth(u.depth)
-		bins := dx.members[li]
-		i := sort.Search(len(bins), func(j int) bool { return bins[j].lo >= u.lo })
-		j := i
-		for j < len(bins) && bins[j].hi <= u.hi {
-			j++
-		}
-		if i == j || bins[i].lo != u.lo || bins[j-1].hi != u.hi {
-			return ms, fmt.Errorf("core: bins do not tile chars [%d,%d] at level %d", u.lo, u.hi, li)
+		i, j, err := dx.binsWithin(li, u.lo, u.hi)
+		if err != nil {
+			return ms, err
 		}
 		for k := i; k < j; k++ {
 			bm, st, err := dx.points[li].PointQuery(uint32(k))
@@ -398,7 +436,51 @@ func (dx *Dynamic) queryChars(lo, hi uint32, ms []*cbitmap.Bitmap, stats *index.
 
 // Query implements index.Index. Dense answers use the complement trick; the
 // complement side includes the ∞ bin so deleted positions never surface.
+// The point-query results stream into a single fused merge (complemented in
+// the same pass on the dense path), mirroring the static pipeline.
 func (dx *Dynamic) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	var stats index.QueryStats
+	if err := r.Valid(dx.sigma); err != nil {
+		return nil, stats, err
+	}
+	var z int64
+	for a := r.Lo; a <= r.Hi; a++ {
+		z += dx.counts[a]
+	}
+	sc := getScratch()
+	defer sc.release()
+	var err error
+	complement := z > dx.n/2
+	if complement {
+		if r.Lo > 0 {
+			err = dx.queryCharStreams(0, r.Lo-1, sc, &stats)
+		}
+		if err == nil {
+			// Include the ∞ bin (char sigmaEff-1) on the complement side.
+			err = dx.queryCharStreams(r.Hi+1, uint32(dx.sigmaEff-1), sc, &stats)
+		}
+	} else {
+		err = dx.queryCharStreams(r.Lo, r.Hi, sc, &stats)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	var out *cbitmap.Bitmap
+	if complement {
+		out, err = cbitmap.MergeStreamsComplement(dx.n, sc.streamPtrs()...)
+	} else {
+		out, err = cbitmap.MergeStreams(dx.n, sc.streamPtrs()...)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// QueryUnfused answers exactly like Query but through the pre-streaming
+// materialise-rebase-union shape, retained as the differential oracle and
+// allocation baseline; answers and stats are bit-identical to Query's.
+func (dx *Dynamic) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
 	var stats index.QueryStats
 	if err := r.Valid(dx.sigma); err != nil {
 		return nil, stats, err
@@ -415,7 +497,6 @@ func (dx *Dynamic) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, erro
 			ms, err = dx.queryChars(0, r.Lo-1, ms, &stats)
 		}
 		if err == nil {
-			// Include the ∞ bin (char sigmaEff-1) on the complement side.
 			ms, err = dx.queryChars(r.Hi+1, uint32(dx.sigmaEff-1), ms, &stats)
 		}
 	} else {

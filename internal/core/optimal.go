@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/cbitmap"
@@ -12,63 +11,6 @@ import (
 	"repro/internal/iomodel"
 	"repro/internal/workload"
 )
-
-// chunkBuf holds one materialised cover-chunk extent: the pooled writer the
-// bits are copied into and a reader over them. Reusing the writer across
-// queries makes chunk reads allocation-free at steady state.
-type chunkBuf struct {
-	w *bitio.Writer
-	r bitio.Reader
-}
-
-// queryScratch is the pooled per-query state of the fused streaming
-// pipeline: one decode stream per cover member, plus the extent buffers the
-// streams read from. A query borrows a scratch, accumulates streams while
-// walking the cover, merges, and releases — so the steady-state query path
-// allocates little beyond the answer it returns.
-type queryScratch struct {
-	streams []cbitmap.Stream
-	ptrs    []*cbitmap.Stream
-	bufs    []*chunkBuf
-	used    int // bufs handed out this query
-}
-
-var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
-
-func getScratch() *queryScratch { return scratchPool.Get().(*queryScratch) }
-
-func (sc *queryScratch) release() {
-	// Clear the stream structs before truncating: they reference the chunk
-	// buffers, and an idle pool entry should retain only the buffers it owns
-	// (sc.bufs), not stale views of them.
-	clear(sc.streams)
-	clear(sc.ptrs)
-	sc.streams = sc.streams[:0]
-	sc.ptrs = sc.ptrs[:0]
-	sc.used = 0
-	scratchPool.Put(sc)
-}
-
-// nextBuf hands out a reset chunk buffer, growing the pool of buffers the
-// first time a query needs more chunks than any before it.
-func (sc *queryScratch) nextBuf() *chunkBuf {
-	if sc.used == len(sc.bufs) {
-		sc.bufs = append(sc.bufs, &chunkBuf{w: bitio.NewWriter(0)})
-	}
-	cb := sc.bufs[sc.used]
-	sc.used++
-	return cb
-}
-
-// streamPtrs returns one pointer per accumulated stream; it is taken only
-// after the cover walk finishes, since appends may move the backing array.
-func (sc *queryScratch) streamPtrs() []*cbitmap.Stream {
-	sc.ptrs = sc.ptrs[:0]
-	for i := range sc.streams {
-		sc.ptrs = append(sc.ptrs, &sc.streams[i])
-	}
-	return sc.ptrs
-}
 
 // OptimalOptions configures the Theorem 2 structure.
 type OptimalOptions struct {
@@ -174,22 +116,39 @@ func BuildOptimal(d *iomodel.Disk, col workload.Column, opts OptimalOptions) (*O
 			byLevel[li] = append(byLevel[li], v)
 		}
 	}
+	// Emit each level's members in one sequential streaming pass: the sorted
+	// per-character occurrence lists merge straight into a level-wide pooled
+	// writer through a StreamEncoder — no intermediate Bitmap, no sorted
+	// position slice per member — and the whole level is placed with a single
+	// AllocStream. Adjacent AllocStream calls share blocks with no padding,
+	// so the on-disk bytes and member extents are bit-identical to the former
+	// member-at-a-time allocation (pinned by the build differential test).
+	// Sharded builds run this pass once per shard under the shard worker
+	// pool, which is where per-subtree encoding runs in parallel.
+	lw := getChainWriter()
+	defer putChainWriter(lw)
+	var posLists [][]int64
 	for li, depth := range depths {
 		lv := matLevel{depth: depth}
+		lw.Reset()
+		levelOff := d.AllocatedBits() // = the extent AllocStream returns below
+		var enc cbitmap.StreamEncoder
 		for _, v := range byLevel[li] {
-			pos := tr.Positions(v.Start, v.End)
-			bm, err := cbitmap.FromPositions(tr.n, pos)
-			if err != nil {
-				return nil, err
+			startBit := lw.Len()
+			enc.Init(lw)
+			posLists = tr.PositionSlices(posLists[:0], v.Start, v.End)
+			enc.MergeSortedSlices(posLists...)
+			if enc.Card() != v.End-v.Start {
+				return nil, fmt.Errorf("core: depth %d member [%d,%d): encoded %d of %d records",
+					depth, v.Start, v.End, enc.Card(), v.End-v.Start)
 			}
-			w := bitio.NewWriter(bm.SizeBits())
-			bm.EncodeTo(w)
 			lv.members = append(lv.members, member{
 				start: v.Start, end: v.End,
-				ext:  d.AllocStream(w),
-				card: bm.Card(),
+				ext:  iomodel.Extent{Off: levelOff + int64(startBit), Bits: int64(lw.Len() - startBit)},
+				card: enc.Card(),
 			})
 		}
+		d.AllocStream(lw)
 		ox.levels = append(ox.levels, lv)
 		// Directory entry per member: offset, length, cardinality — O(lg n)
 		// bits each, 128 bits nominal.

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/cbitmap"
+)
+
+// Pooled scratch for the fused streaming pipelines. The read path (queries)
+// and the write path (builds, rebuilds, chain appends) share the same
+// discipline: per-operation state lives in sync.Pools, so steady-state
+// operations allocate little beyond what they return or persist.
+
+// chunkBuf holds one materialised extent or chain: the pooled writer the
+// bits are copied into and a reader over them. Reusing the writer across
+// operations makes extent and chain reads allocation-free at steady state.
+type chunkBuf struct {
+	w *bitio.Writer
+	r bitio.Reader
+}
+
+// queryScratch is the pooled per-query state of the fused streaming
+// pipeline: one decode stream per cover member, plus the extent buffers the
+// streams read from. A query borrows a scratch, accumulates streams while
+// walking the cover, merges, and releases — so the steady-state query path
+// allocates little beyond the answer it returns.
+type queryScratch struct {
+	streams []cbitmap.Stream
+	ptrs    []*cbitmap.Stream
+	bufs    []*chunkBuf
+	used    int // bufs handed out this query
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func getScratch() *queryScratch { return scratchPool.Get().(*queryScratch) }
+
+func (sc *queryScratch) release() {
+	// Clear the stream structs before truncating: they reference the chunk
+	// buffers, and an idle pool entry should retain only the buffers it owns
+	// (sc.bufs), not stale views of them.
+	clear(sc.streams)
+	clear(sc.ptrs)
+	sc.streams = sc.streams[:0]
+	sc.ptrs = sc.ptrs[:0]
+	sc.used = 0
+	scratchPool.Put(sc)
+}
+
+// nextBuf hands out a reset chunk buffer, growing the pool of buffers the
+// first time a query needs more chunks than any before it.
+func (sc *queryScratch) nextBuf() *chunkBuf {
+	if sc.used == len(sc.bufs) {
+		sc.bufs = append(sc.bufs, &chunkBuf{w: bitio.NewWriter(0)})
+	}
+	cb := sc.bufs[sc.used]
+	sc.used++
+	return cb
+}
+
+// addBitmapStream appends a stream over an in-memory bitmap (pending-append
+// overlays, point-query results) to the merge inputs for a merge over the
+// universe [0,n). A bitmap built over a different universe (point-index
+// answers live in the fixed 2⁴⁷ position space) gets a validating stream, so
+// an out-of-universe position surfaces as a decode error from the merge —
+// as the materialising oracle's re-base did — instead of corrupting the
+// output. The bitmap must stay reachable until the merge runs, which it
+// does: streams are merged before the scratch is released.
+func (sc *queryScratch) addBitmapStream(bm *cbitmap.Bitmap, n int64) {
+	var s cbitmap.Stream
+	if bm.Universe() == n {
+		s.InitBitmap(bm, 0)
+	} else {
+		s.InitBitmapBounded(bm, 0, n)
+	}
+	sc.streams = append(sc.streams, s)
+}
+
+// streamPtrs returns one pointer per accumulated stream; it is taken only
+// after the cover walk finishes, since appends may move the backing array.
+func (sc *queryScratch) streamPtrs() []*cbitmap.Stream {
+	sc.ptrs = sc.ptrs[:0]
+	for i := range sc.streams {
+		sc.ptrs = append(sc.ptrs, &sc.streams[i])
+	}
+	return sc.ptrs
+}
+
+// chainWriterPool recycles the bitio.Writers the dynamic write path encodes
+// into before handing bits to a chain or extent: member rebuilds, single
+// appends, buffer flushes and level emissions all borrow one, write, persist
+// and return it — the write-path counterpart of the query pipeline's pooled
+// chunk buffers.
+var chainWriterPool = sync.Pool{New: func() any { return bitio.NewWriter(0) }}
+
+// chainWriterMaxBytes bounds the buffers returned to the pool: a level-wide
+// build emission or a large member re-encode can grow a writer to megabytes,
+// and pooling it would pin that memory behind every later one-gap append
+// (the same oversized-pooled-object hazard iomodel's Touch pool guards
+// against). Oversized writers are dropped for the garbage collector.
+const chainWriterMaxBytes = 1 << 18
+
+func getChainWriter() *bitio.Writer {
+	w := chainWriterPool.Get().(*bitio.Writer)
+	w.Reset()
+	return w
+}
+
+func putChainWriter(w *bitio.Writer) {
+	if cap(w.Bytes()) > chainWriterMaxBytes {
+		return
+	}
+	chainWriterPool.Put(w)
+}

@@ -70,10 +70,21 @@ func BuildTree(col workload.Column, c int) (*Tree, error) {
 	}
 	t := &Tree{C: c, n: n, sigma: col.Sigma}
 	t.byChar = make([][]int64, col.Sigma)
-	for i, ch := range col.X {
+	// Count first so each character's position list is allocated exactly
+	// once; append-growth over σ lists otherwise dominates build allocations.
+	counts := make([]int64, col.Sigma)
+	for _, ch := range col.X {
 		if int(ch) >= col.Sigma {
 			return nil, fmt.Errorf("core: character %d outside alphabet [0,%d)", ch, col.Sigma)
 		}
+		counts[ch]++
+	}
+	for a, cnt := range counts {
+		if cnt > 0 {
+			t.byChar[a] = make([]int64, 0, cnt)
+		}
+	}
+	for i, ch := range col.X {
 		t.byChar[ch] = append(t.byChar[ch], int64(i))
 	}
 	t.prefix = make([]int64, col.Sigma+1)
@@ -148,6 +159,29 @@ func (t *Tree) Positions(start, end int64) []int64 {
 	}
 	slices.Sort(out)
 	return out
+}
+
+// PositionSlices appends to dst the sorted per-character position slices
+// covering records [start,end), without copying or sorting: each slice is a
+// sub-range of one character's byChar list, the slices are pairwise disjoint,
+// and merging them (StreamEncoder.MergeSortedSlices) reproduces
+// Positions(start, end) exactly. This is what lets the streaming build emit
+// a member's gap stream without materialising its position slice.
+func (t *Tree) PositionSlices(dst [][]int64, start, end int64) [][]int64 {
+	for a := int(t.charOf(start)); int64(a) < int64(t.sigma) && t.prefix[a] < end; a++ {
+		lo := t.prefix[a]
+		if lo < start {
+			lo = start
+		}
+		hi := t.prefix[a+1]
+		if hi > end {
+			hi = end
+		}
+		if lo < hi {
+			dst = append(dst, t.byChar[a][lo-t.prefix[a]:hi-t.prefix[a]])
+		}
+	}
+	return dst
 }
 
 // build constructs the subtree covering records [start,end) at the given

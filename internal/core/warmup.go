@@ -57,10 +57,19 @@ func BuildWarmup(d *iomodel.Disk, col workload.Column, opts WarmupOptions) (*War
 	wx := &Warmup{disk: d, n: n, sigma: col.Sigma, padded: padded, opts: opts}
 
 	byChar := make([][]int64, padded)
-	for i, c := range col.X {
+	counts := make([]int64, col.Sigma)
+	for _, c := range col.X {
 		if int(c) >= col.Sigma {
 			return nil, fmt.Errorf("core: character %d outside alphabet [0,%d)", c, col.Sigma)
 		}
+		counts[c]++
+	}
+	for a, cnt := range counts {
+		if cnt > 0 {
+			byChar[a] = make([]int64, 0, cnt)
+		}
+	}
+	for i, c := range col.X {
 		byChar[c] = append(byChar[c], int64(i))
 	}
 	prefix := make([]int64, col.Sigma+1)
@@ -68,26 +77,39 @@ func BuildWarmup(d *iomodel.Disk, col workload.Column, opts WarmupOptions) (*War
 		prefix[a+1] = prefix[a] + int64(len(byChar[a]))
 	}
 
+	// Emit each level's node bitmaps in one sequential streaming pass: the
+	// sorted per-character occurrence lists merge straight into a level-wide
+	// pooled writer through a StreamEncoder (no intermediate Bitmap or sorted
+	// position slice), and the level is placed with a single AllocStream —
+	// bit-identical to the former node-at-a-time allocation, since adjacent
+	// AllocStream calls share blocks with no padding.
+	lw := getChainWriter()
+	defer putChainWriter(lw)
 	nlevels := bits.Len(uint(padded - 1)) // levels 0..nlevels, width 2^(nlevels-j)
 	for j := 0; j <= nlevels; j++ {
 		width := int64(padded >> uint(j))
 		lv := warmLevel{width: width}
 		nnodes := int64(padded) / width
+		lw.Reset()
+		levelOff := d.AllocatedBits() // = the extent AllocStream returns below
+		var enc cbitmap.StreamEncoder
 		for node := int64(0); node < nnodes; node++ {
 			lo, hi := node*width, (node+1)*width
-			var pos []int64
-			for a := lo; a < hi && a < int64(col.Sigma); a++ {
-				pos = append(pos, byChar[a]...)
+			if hi > int64(col.Sigma) {
+				hi = int64(col.Sigma)
 			}
-			bm, err := cbitmap.FromUnsorted(n, pos)
-			if err != nil {
-				return nil, err
+			startBit := lw.Len()
+			enc.Init(lw)
+			if lo < hi {
+				enc.MergeSortedSlices(byChar[lo:hi]...)
 			}
-			w := bitio.NewWriter(bm.SizeBits())
-			bm.EncodeTo(w)
-			lv.exts = append(lv.exts, d.AllocStream(w))
-			lv.cards = append(lv.cards, bm.Card())
+			lv.exts = append(lv.exts, iomodel.Extent{
+				Off:  levelOff + int64(startBit),
+				Bits: int64(lw.Len() - startBit),
+			})
+			lv.cards = append(lv.cards, enc.Card())
 		}
+		d.AllocStream(lw)
 		wx.levels = append(wx.levels, lv)
 	}
 
@@ -149,8 +171,32 @@ func (wx *Warmup) cover(lo, hi int64) []coverNode {
 	return out
 }
 
+// queryCharStreams collects, into sc, one decode stream per node of the
+// canonical cover of [lo,hi]: each node's extent is read once into a pooled
+// chunk buffer and decoded lazily by the downstream merge, so no node bitmap
+// is ever materialised.
+func (wx *Warmup) queryCharStreams(tc *iomodel.Touch, lo, hi int64, sc *queryScratch, stats *index.QueryStats) error {
+	for _, cn := range wx.cover(lo, hi) {
+		lv := wx.levels[cn.level]
+		ext := lv.exts[cn.node]
+		cb := sc.nextBuf()
+		if err := tc.ReaderInto(ext, cb.w); err != nil {
+			return err
+		}
+		stats.BitsRead += ext.Bits
+		cb.r.Init(cb.w.Bytes(), cb.w.Len())
+		var s cbitmap.Stream
+		if err := s.InitDecode(&cb.r, 0, cb.w.Len(), lv.cards[cn.node], wx.n, 0); err != nil {
+			return fmt.Errorf("core: warmup level %d node %d: %w", cn.level, cn.node, err)
+		}
+		sc.streams = append(sc.streams, s)
+	}
+	return nil
+}
+
 // queryChars unions the cover of character range [lo,hi] (inclusive,
-// already validated and non-empty).
+// already validated and non-empty). It is the pre-streaming materialising
+// path, retained as QueryUnfused's decode stage.
 func (wx *Warmup) queryChars(tc *iomodel.Touch, lo, hi int64, ms []*cbitmap.Bitmap, stats *index.QueryStats) ([]*cbitmap.Bitmap, error) {
 	for _, cn := range wx.cover(lo, hi) {
 		lv := wx.levels[cn.level]
@@ -169,13 +215,65 @@ func (wx *Warmup) queryChars(tc *iomodel.Touch, lo, hi int64, ms []*cbitmap.Bitm
 	return ms, nil
 }
 
-// Query implements index.Index.
+// Query implements index.Index. The cover's gap streams feed a single fused
+// decode-merge pass (complemented in the same pass on the dense path), the
+// same shape as Optimal.Query.
 func (wx *Warmup) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
 	var stats index.QueryStats
 	if err := r.Valid(wx.sigma); err != nil {
 		return nil, stats, err
 	}
 	tc := wx.disk.NewTouch()
+	defer tc.Close()
+	aLo, err := tc.ReadBits(wx.aExt.Off+int64(r.Lo)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	aHi, err := tc.ReadBits(wx.aExt.Off+int64(r.Hi+1)*64, 64)
+	if err != nil {
+		return nil, stats, err
+	}
+	z := int64(aHi) - int64(aLo)
+
+	sc := getScratch()
+	defer sc.release()
+	complement := z > wx.n/2 && !wx.opts.NoComplement
+	if complement {
+		if r.Lo > 0 {
+			err = wx.queryCharStreams(tc, 0, int64(r.Lo)-1, sc, &stats)
+		}
+		if err == nil && int(r.Hi) < wx.sigma-1 {
+			err = wx.queryCharStreams(tc, int64(r.Hi)+1, int64(wx.padded)-1, sc, &stats)
+		}
+	} else {
+		err = wx.queryCharStreams(tc, int64(r.Lo), int64(r.Hi), sc, &stats)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	var out *cbitmap.Bitmap
+	if complement {
+		out, err = cbitmap.MergeStreamsComplement(wx.n, sc.streamPtrs()...)
+	} else {
+		out, err = cbitmap.MergeStreams(wx.n, sc.streamPtrs()...)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+	return out, stats, nil
+}
+
+// QueryUnfused answers exactly like Query but through the pre-streaming
+// decode-then-union shape, retained as the differential oracle and
+// allocation baseline; answers and I/O stats are bit-identical to Query's.
+func (wx *Warmup) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	var stats index.QueryStats
+	if err := r.Valid(wx.sigma); err != nil {
+		return nil, stats, err
+	}
+	tc := wx.disk.NewTouch()
+	defer tc.Close()
 	aLo, err := tc.ReadBits(wx.aExt.Off+int64(r.Lo)*64, 64)
 	if err != nil {
 		return nil, stats, err

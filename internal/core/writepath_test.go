@@ -1,0 +1,523 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/cbitmap"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// Differential tests for the fused streaming write path: member chains,
+// level extents and query answers produced by the streaming pipeline must be
+// bit-identical to the pre-streaming oracles (writeMemberChainUnfused,
+// QueryUnfused, encode-via-Bitmap), across the workload shapes of the
+// dynamic experiments E6 (uniform appends), A4 (stride × buffering matrix),
+// E8 (fully dynamic updates) and the static ablation A1 (stride sweep).
+
+// chainSnapshot captures one member's serialised state.
+type chainSnapshot struct {
+	lo, hi  uint32
+	card    int64
+	lastPos int64
+	bits    []byte
+	nbits   int64
+}
+
+// snapshotChains reads every member chain of ax.
+func snapshotChains(t *testing.T, ax *AppendIndex) [][]chainSnapshot {
+	t.Helper()
+	tc := ax.disk.NewTouch()
+	defer tc.Close()
+	out := make([][]chainSnapshot, len(ax.levels))
+	for li, lvl := range ax.levels {
+		for _, m := range lvl {
+			rd, err := m.chain.ReadAll(tc)
+			if err != nil {
+				t.Fatalf("level %d member [%d,%d]: %v", li, m.node.lo, m.node.hi, err)
+			}
+			w := bitio.NewWriter(rd.Len())
+			if err := w.CopyBits(rd, rd.Len()); err != nil {
+				t.Fatal(err)
+			}
+			out[li] = append(out[li], chainSnapshot{
+				lo: m.node.lo, hi: m.node.hi,
+				card: m.card, lastPos: m.lastPos,
+				bits: w.Bytes(), nbits: m.chain.Bits(),
+			})
+		}
+	}
+	return out
+}
+
+func compareSnapshots(t *testing.T, tag string, fused, oracle [][]chainSnapshot) {
+	t.Helper()
+	if len(fused) != len(oracle) {
+		t.Fatalf("%s: level count %d vs %d", tag, len(fused), len(oracle))
+	}
+	for li := range fused {
+		if len(fused[li]) != len(oracle[li]) {
+			t.Fatalf("%s: level %d member count %d vs %d", tag, li, len(fused[li]), len(oracle[li]))
+		}
+		for k := range fused[li] {
+			f, o := fused[li][k], oracle[li][k]
+			if f.lo != o.lo || f.hi != o.hi {
+				t.Fatalf("%s: level %d member %d covers [%d,%d] vs [%d,%d]", tag, li, k, f.lo, f.hi, o.lo, o.hi)
+			}
+			if f.card != o.card || f.lastPos != o.lastPos || f.nbits != o.nbits || !bytes.Equal(f.bits, o.bits) {
+				t.Fatalf("%s: level %d member [%d,%d]: chains differ (card %d/%d, last %d/%d, bits %d/%d)",
+					tag, li, f.lo, f.hi, f.card, o.card, f.lastPos, o.lastPos, f.nbits, o.nbits)
+			}
+		}
+	}
+}
+
+// TestStreamingRebuildDifferential grows twin AppendIndexes item-by-item —
+// one through the fused streaming write path, one through the pre-streaming
+// oracle — and asserts every member chain, every per-append I/O charge and
+// the final space accounting come out bit-identical. Workload shapes mirror
+// E6 (σ=64 uniform, paper stride) and A4 (large alphabet, branching 5,
+// stride 1 and 2), each in the direct and buffered variants.
+func TestStreamingRebuildDifferential(t *testing.T) {
+	shapes := []struct {
+		name    string
+		sigma   int
+		opts    AppendOptions
+		n0, app int
+	}{
+		{"E6-direct", 64, AppendOptions{}, 200, 3000},
+		{"E6-buffered", 64, AppendOptions{Buffered: true}, 200, 3000},
+		{"A4-s1-direct", 256, AppendOptions{Branching: 5, Stride: 1}, 256, 2000},
+		{"A4-s1-buffered", 256, AppendOptions{Branching: 5, Stride: 1, Buffered: true}, 256, 2000},
+		{"A4-s2-buffered", 256, AppendOptions{Branching: 5, Stride: 2, Buffered: true}, 256, 2000},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			col := workload.Uniform(sh.n0, sh.sigma, 41)
+			dF := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+			dO := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+			axF, err := BuildAppendIndex(dF, col, sh.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			axO, err := BuildAppendIndex(dO, col, sh.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			axO.unfusedRebuild = true
+			// The initial builds ran through different write paths already
+			// (axO's global rebuild used the fused encoder before the flag
+			// was set); rebuild it through the oracle so the twins start
+			// from oracle-written chains.
+			axO.rebuildAll(dO.NewTouch())
+			axO.GlobalRebuildCount-- // discount the manual oracle rebuild
+			compareSnapshots(t, sh.name+"/initial", snapshotChains(t, axF), snapshotChains(t, axO))
+
+			stream := workload.Uniform(sh.app, sh.sigma, 43)
+			for i, ch := range stream.X {
+				stF, err := axF.Append(ch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stO, err := axO.Append(ch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stF != stO {
+					t.Fatalf("append %d: I/O stats diverge: fused %+v vs oracle %+v", i, stF, stO)
+				}
+			}
+			if axF.RebuildCount != axO.RebuildCount || axF.GlobalRebuildCount != axO.GlobalRebuildCount {
+				t.Fatalf("rebuild counts diverge: %d/%d vs %d/%d",
+					axF.RebuildCount, axF.GlobalRebuildCount, axO.RebuildCount, axO.GlobalRebuildCount)
+			}
+			if axF.SizeBits() != axO.SizeBits() {
+				t.Fatalf("space accounting diverges: %d vs %d bits", axF.SizeBits(), axO.SizeBits())
+			}
+			compareSnapshots(t, sh.name+"/grown", snapshotChains(t, axF), snapshotChains(t, axO))
+		})
+	}
+}
+
+// TestStreamingBuildBitIdentical pins the static bulk builds: every member
+// extent the streaming level pass emits must hold exactly the bytes the
+// encode-via-Bitmap oracle produces — for Optimal across the A1 stride sweep
+// and for the Warmup tree.
+func TestStreamingBuildBitIdentical(t *testing.T) {
+	col := workload.Uniform(5000, 256, 89)
+	for _, stride := range []int{1, 2, 4} {
+		d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+		ix, err := BuildOptimal(d, col, OptimalOptions{Stride: stride})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc := d.NewTouch()
+		for li, lv := range ix.levels {
+			for k, m := range lv.members {
+				rd, err := tc.Reader(m.ext)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := bitio.NewWriter(int(m.ext.Bits))
+				if err := got.CopyBits(rd, int(m.ext.Bits)); err != nil {
+					t.Fatal(err)
+				}
+				want, err := cbitmap.FromPositions(ix.tree.n, ix.tree.Positions(m.start, m.end))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ww := bitio.NewWriter(want.SizeBits())
+				want.EncodeTo(ww)
+				if m.card != want.Card() || int64(want.SizeBits()) != m.ext.Bits || !bytes.Equal(got.Bytes(), ww.Bytes()) {
+					t.Fatalf("stride %d level %d member %d: extent differs from oracle encoding", stride, li, k)
+				}
+			}
+		}
+		tc.Close()
+	}
+
+	wd := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	wx, err := BuildWarmup(wd, col, WarmupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byChar := make([][]int64, wx.padded)
+	for i, c := range col.X {
+		byChar[c] = append(byChar[c], int64(i))
+	}
+	tc := wd.NewTouch()
+	defer tc.Close()
+	for j, lv := range wx.levels {
+		for node := range lv.exts {
+			var pos []int64
+			lo, hi := int64(node)*lv.width, (int64(node)+1)*lv.width
+			for a := lo; a < hi && a < int64(col.Sigma); a++ {
+				pos = append(pos, byChar[a]...)
+			}
+			want, err := cbitmap.FromUnsorted(wx.n, pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ww := bitio.NewWriter(want.SizeBits())
+			want.EncodeTo(ww)
+			ext := lv.exts[node]
+			rd, err := tc.Reader(ext)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := bitio.NewWriter(int(ext.Bits))
+			if err := got.CopyBits(rd, int(ext.Bits)); err != nil {
+				t.Fatal(err)
+			}
+			if lv.cards[node] != want.Card() || int64(want.SizeBits()) != ext.Bits || !bytes.Equal(got.Bytes(), ww.Bytes()) {
+				t.Fatalf("warmup level %d node %d: extent differs from oracle encoding", j, node)
+			}
+		}
+	}
+}
+
+// dynGroundTruth scans the mirrored column for rows in [lo,hi].
+func dynGroundTruth(t *testing.T, x []uint32, n int64, lo, hi uint32) *cbitmap.Bitmap {
+	t.Helper()
+	var pos []int64
+	for i, v := range x {
+		if v >= lo && v <= hi {
+			pos = append(pos, int64(i))
+		}
+	}
+	bm, err := cbitmap.FromPositions(n, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bm
+}
+
+// TestDynQueryStreamDifferential interleaves appends with queries on both
+// AppendIndex variants and asserts the fused streaming Query is
+// bit-identical — answer bytes and I/O stats — to the decode-then-union
+// oracle and to a ground-truth column scan, on sparse and dense (complement)
+// ranges.
+func TestDynQueryStreamDifferential(t *testing.T) {
+	for _, buffered := range []bool{false, true} {
+		name := "direct"
+		if buffered {
+			name = "buffered"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(59))
+			sigma := 32 // small alphabet so dense ranges hit the complement path
+			col := workload.Uniform(500, sigma, 61)
+			d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+			ax, err := BuildAppendIndex(d, col, AppendOptions{Buffered: buffered})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := append([]uint32{}, col.X...)
+			for round := 0; round < 40; round++ {
+				for a := 0; a < 50; a++ {
+					ch := uint32(rng.Intn(sigma))
+					if _, err := ax.Append(ch); err != nil {
+						t.Fatal(err)
+					}
+					x = append(x, ch)
+				}
+				lo := uint32(rng.Intn(sigma))
+				hi := lo + uint32(rng.Intn(sigma-int(lo)))
+				r := index.Range{Lo: lo, Hi: hi}
+				fused, fstats, err := ax.Query(r)
+				if err != nil {
+					t.Fatalf("round %d [%d,%d]: fused: %v", round, lo, hi, err)
+				}
+				oracle, ostats, err := ax.QueryUnfused(r)
+				if err != nil {
+					t.Fatalf("round %d [%d,%d]: unfused: %v", round, lo, hi, err)
+				}
+				if !cbitmap.Equal(fused, oracle) {
+					t.Fatalf("round %d [%d,%d]: fused answer differs from oracle", round, lo, hi)
+				}
+				if fstats != ostats {
+					t.Fatalf("round %d [%d,%d]: stats diverge: %+v vs %+v", round, lo, hi, fstats, ostats)
+				}
+				truth := dynGroundTruth(t, x, ax.Len(), lo, hi)
+				if !cbitmap.Equal(fused, truth) {
+					t.Fatalf("round %d [%d,%d]: answer differs from column scan", round, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestDynamicQueryStreamDifferential mirrors the E8 workload: the fully
+// dynamic index under appends, changes and deletes, with the fused streaming
+// Query checked against the materialise-rebase-union oracle.
+func TestDynamicQueryStreamDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	sigma := 24
+	col := workload.Uniform(600, sigma, 71)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	dx, err := BuildDynamic(d, col, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 30; round++ {
+		for u := 0; u < 20; u++ {
+			switch rng.Intn(3) {
+			case 0:
+				if _, err := dx.Append(uint32(rng.Intn(sigma))); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				i := rng.Int63n(dx.Len())
+				if _, err := dx.Change(i, uint32(rng.Intn(sigma))); err != nil && dx.x[i] != uint32(dx.sigmaEff-1) {
+					t.Fatal(err)
+				}
+			default:
+				i := rng.Int63n(dx.Len())
+				if dx.x[i] != uint32(dx.sigmaEff-1) {
+					if _, err := dx.Delete(i); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		lo := uint32(rng.Intn(sigma))
+		hi := lo + uint32(rng.Intn(sigma-int(lo)))
+		r := index.Range{Lo: lo, Hi: hi}
+		fused, fstats, err := dx.Query(r)
+		if err != nil {
+			t.Fatalf("round %d [%d,%d]: fused: %v", round, lo, hi, err)
+		}
+		oracle, ostats, err := dx.QueryUnfused(r)
+		if err != nil {
+			t.Fatalf("round %d [%d,%d]: unfused: %v", round, lo, hi, err)
+		}
+		if !cbitmap.Equal(fused, oracle) {
+			t.Fatalf("round %d [%d,%d]: fused answer differs from oracle", round, lo, hi)
+		}
+		if fstats != ostats {
+			t.Fatalf("round %d [%d,%d]: stats diverge: %+v vs %+v", round, lo, hi, fstats, ostats)
+		}
+	}
+}
+
+// TestWarmupQueryStreamDifferential checks the Theorem 1 fused query against
+// its oracle on both the direct and complement paths.
+func TestWarmupQueryStreamDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	cols := []workload.Column{
+		workload.Uniform(4000, 64, 1),
+		workload.Uniform(600, 5, 3), // tiny alphabet: dense answers, complement path
+	}
+	for ci, col := range cols {
+		d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+		wx, err := BuildWarmup(d, col, WarmupOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 100; q++ {
+			lo := uint32(rng.Intn(col.Sigma))
+			hi := lo + uint32(rng.Intn(col.Sigma-int(lo)))
+			r := index.Range{Lo: lo, Hi: hi}
+			fused, fstats, err := wx.Query(r)
+			if err != nil {
+				t.Fatalf("col %d [%d,%d]: fused: %v", ci, lo, hi, err)
+			}
+			oracle, ostats, err := wx.QueryUnfused(r)
+			if err != nil {
+				t.Fatalf("col %d [%d,%d]: unfused: %v", ci, lo, hi, err)
+			}
+			if !cbitmap.Equal(fused, oracle) {
+				t.Fatalf("col %d [%d,%d]: fused answer differs from oracle", ci, lo, hi)
+			}
+			if fstats != ostats {
+				t.Fatalf("col %d [%d,%d]: stats diverge: %+v vs %+v", ci, lo, hi, fstats, ostats)
+			}
+			truth := dynGroundTruth(t, col.X, wx.n, lo, hi)
+			if !cbitmap.Equal(fused, truth) {
+				t.Fatalf("col %d [%d,%d]: answer differs from column scan", ci, lo, hi)
+			}
+		}
+	}
+}
+
+// --- Allocation regression tests for the dynamic paths (mirroring
+// cbitmap/alloc_test.go and the static TestFusedQueryAllocs). ---
+
+func skipUnderRaceCore(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; absolute counts only hold without it")
+	}
+}
+
+// TestDynQueryAllocs pins the fused dynamic query win: the streaming Query
+// must allocate well under half of the decode-then-union oracle at steady
+// state.
+func TestDynQueryAllocs(t *testing.T) {
+	skipUnderRaceCore(t)
+	col := workload.Uniform(1<<14, 64, 7)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+	ax, err := BuildAppendIndex(d, col, AppendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := index.Range{Lo: 10, Hi: 18}
+	for i := 0; i < 4; i++ { // warm the pools
+		if _, _, err := ax.Query(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fused := testing.AllocsPerRun(50, func() {
+		if _, _, err := ax.Query(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	unfused := testing.AllocsPerRun(50, func() {
+		if _, _, err := ax.QueryUnfused(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/op: fused %.1f, decode-then-union %.1f", fused, unfused)
+	if fused > unfused*0.6 {
+		t.Fatalf("fused dyn query allocates %.1f/op, want <= 60%% of the unfused %.1f/op", fused, unfused)
+	}
+}
+
+// TestDynamicQueryAllocs: the Theorem 7 fused query must allocate strictly
+// less than the rebase-then-union oracle (the point queries themselves
+// dominate, so the bound is relative, not absolute).
+func TestDynamicQueryAllocs(t *testing.T) {
+	skipUnderRaceCore(t)
+	col := workload.Uniform(1<<12, 64, 9)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+	dx, err := BuildDynamic(d, col, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := index.Range{Lo: 5, Hi: 13}
+	for i := 0; i < 4; i++ {
+		if _, _, err := dx.Query(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fused := testing.AllocsPerRun(50, func() {
+		if _, _, err := dx.Query(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	unfused := testing.AllocsPerRun(50, func() {
+		if _, _, err := dx.QueryUnfused(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/op: fused %.1f, rebase-then-union %.1f", fused, unfused)
+	if fused >= unfused {
+		t.Fatalf("fused dynamic query allocates %.1f/op, want < unfused %.1f/op", fused, unfused)
+	}
+}
+
+// TestWarmupQueryAllocs pins the Theorem 1 fused query against its oracle.
+func TestWarmupQueryAllocs(t *testing.T) {
+	skipUnderRaceCore(t)
+	col := workload.Uniform(1<<14, 128, 11)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+	wx, err := BuildWarmup(d, col, WarmupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := index.Range{Lo: 40, Hi: 55}
+	for i := 0; i < 4; i++ {
+		if _, _, err := wx.Query(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fused := testing.AllocsPerRun(50, func() {
+		if _, _, err := wx.Query(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	unfused := testing.AllocsPerRun(50, func() {
+		if _, _, err := wx.QueryUnfused(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/op: fused %.1f, decode-then-union %.1f", fused, unfused)
+	if fused > unfused*0.6 {
+		t.Fatalf("fused warmup query allocates %.1f/op, want <= 60%% of the unfused %.1f/op", fused, unfused)
+	}
+}
+
+// TestAppendSteadyStateAllocs pins the streaming write path's headline: a
+// steady-state direct append — one gap code staged through a pooled writer
+// into the tail block of each affected level — allocates (almost) nothing.
+// The character spread keeps leaf weights far from their rebuild thresholds
+// so no rebuild lands inside the measured window.
+func TestAppendSteadyStateAllocs(t *testing.T) {
+	skipUnderRaceCore(t)
+	col := workload.Uniform(1<<13, 64, 13)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 8192})
+	ax, err := BuildAppendIndex(d, col, AppendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := uint32(0)
+	for i := 0; i < 64; i++ { // warm pools and tail blocks
+		if _, err := ax.Append(next); err != nil {
+			t.Fatal(err)
+		}
+		next = (next + 1) % 64
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ax.Append(next); err != nil {
+			t.Fatal(err)
+		}
+		next = (next + 1) % 64
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state direct append allocated %.2f times per op, want <= 1 (was 7 before the streaming write path)", allocs)
+	}
+}

@@ -2,21 +2,37 @@ package iomodel
 
 import "sync"
 
-// blockCache is an LRU cache of resident blocks. It models a buffer pool in
-// front of the simulated device: an operation that reads a cached block pays
-// no device I/O, because the block is already in internal memory from an
-// earlier operation. The cache tracks residency only — block contents live in
-// the Disk's storage, so cached reads can never return stale data.
+// blockCache is a lock-striped LRU cache of resident blocks. It models a
+// buffer pool in front of the simulated device: an operation that reads a
+// cached block pays no device I/O, because the block is already in internal
+// memory from an earlier operation. The cache tracks residency only — block
+// contents live in the Disk's storage, so cached reads can never return
+// stale data.
 //
 // The cache is shared by every Touch session on the Disk and is safe for
-// concurrent use: parallel read-only queries against a static index may race
-// on recency updates, but hits, misses and evictions stay consistent.
+// concurrent use. It is partitioned into independent stripes, each its own
+// LRU over the blocks that hash to it, so concurrent sharded queries that
+// hit disjoint blocks no longer serialize on a single global mutex; the
+// total capacity is divided exactly among the stripes. Hit and miss counts
+// are kept exact by the Disk's atomic Stats counters, which each touch
+// updates after its stripe's verdict.
 type blockCache struct {
+	stripes []cacheStripe
+}
+
+// cacheStripeCount is the maximum number of stripes; small caches get one
+// stripe per block of capacity so the capacity split stays exact.
+const cacheStripeCount = 16
+
+// cacheStripe is one independently locked LRU shard of the cache.
+type cacheStripe struct {
 	mu  sync.Mutex
 	cap int
 	m   map[BlockID]*cacheNode
 	// Doubly linked recency ring: head.next is most recent, head.prev least.
 	head cacheNode
+	// Pad stripes apart so neighbouring locks do not share a cache line.
+	_ [64]byte
 }
 
 type cacheNode struct {
@@ -25,77 +41,105 @@ type cacheNode struct {
 }
 
 func newBlockCache(capacity int) *blockCache {
-	c := &blockCache{cap: capacity, m: make(map[BlockID]*cacheNode, capacity)}
-	c.head.prev, c.head.next = &c.head, &c.head
+	nstripes := cacheStripeCount
+	if nstripes > capacity {
+		nstripes = capacity
+	}
+	c := &blockCache{stripes: make([]cacheStripe, nstripes)}
+	base, rem := capacity/nstripes, capacity%nstripes
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.cap = base
+		if i < rem {
+			s.cap++
+		}
+		s.m = make(map[BlockID]*cacheNode, s.cap)
+		s.head.prev, s.head.next = &s.head, &s.head
+	}
 	return c
 }
 
-func (c *blockCache) unlink(n *cacheNode) {
+// stripe returns the stripe owning block id. Block ids are dense and mostly
+// sequential, so the modulus spreads a scan evenly across stripes.
+func (c *blockCache) stripe(id BlockID) *cacheStripe {
+	return &c.stripes[uint64(id)%uint64(len(c.stripes))]
+}
+
+func (s *cacheStripe) unlink(n *cacheNode) {
 	n.prev.next = n.next
 	n.next.prev = n.prev
 }
 
-func (c *blockCache) pushFront(n *cacheNode) {
-	n.prev = &c.head
-	n.next = c.head.next
+func (s *cacheStripe) pushFront(n *cacheNode) {
+	n.prev = &s.head
+	n.next = s.head.next
 	n.prev.next = n
 	n.next.prev = n
 }
 
 // touch records an access to block id and reports whether it was already
-// resident. On a miss the block is inserted, evicting the least recently
-// used block if the cache is full.
+// resident. On a miss the block is inserted, evicting the stripe's least
+// recently used block if the stripe is full.
 func (c *blockCache) touch(id BlockID) (hit bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if n, ok := c.m[id]; ok {
-		c.unlink(n)
-		c.pushFront(n)
+	s := c.stripe(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.m[id]; ok {
+		s.unlink(n)
+		s.pushFront(n)
 		return true
 	}
-	c.insert(id)
+	s.insert(id)
 	return false
 }
 
-// insert adds id as the most recent block, evicting if needed. Caller holds mu.
-func (c *blockCache) insert(id BlockID) {
-	if len(c.m) >= c.cap {
-		lru := c.head.prev
-		c.unlink(lru)
-		delete(c.m, lru.id)
+// insert adds id as the stripe's most recent block, evicting if needed.
+// Caller holds the stripe's mutex.
+func (s *cacheStripe) insert(id BlockID) {
+	if len(s.m) >= s.cap {
+		lru := s.head.prev
+		s.unlink(lru)
+		delete(s.m, lru.id)
 	}
 	n := &cacheNode{id: id}
-	c.m[id] = n
-	c.pushFront(n)
+	s.m[id] = n
+	s.pushFront(n)
 }
 
 // note records that block id is resident (it was just written) without
 // counting a hit or a miss.
 func (c *blockCache) note(id BlockID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if n, ok := c.m[id]; ok {
-		c.unlink(n)
-		c.pushFront(n)
+	s := c.stripe(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.m[id]; ok {
+		s.unlink(n)
+		s.pushFront(n)
 		return
 	}
-	c.insert(id)
+	s.insert(id)
 }
 
 // drop removes block id from the cache (freed blocks lose residency so a
 // reallocation starts cold).
 func (c *blockCache) drop(id BlockID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if n, ok := c.m[id]; ok {
-		c.unlink(n)
-		delete(c.m, id)
+	s := c.stripe(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.m[id]; ok {
+		s.unlink(n)
+		delete(s.m, id)
 	}
 }
 
-// Len returns the number of resident blocks.
+// Len returns the number of resident blocks across all stripes.
 func (c *blockCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	total := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		total += len(s.m)
+		s.mu.Unlock()
+	}
+	return total
 }

@@ -1,6 +1,8 @@
 package iomodel
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/bitio"
@@ -140,4 +142,103 @@ func FuzzCacheCapacityOne(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestCacheStripePartition pins the striped capacity split: total capacity
+// is divided exactly among the stripes (one stripe per block of capacity for
+// small caches), so residency never exceeds the configured capacity and a
+// capacity-1 cache keeps the global LRU semantics the fuzz target checks.
+func TestCacheStripePartition(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 15, 16, 17, 100} {
+		c := newBlockCache(capacity)
+		total := 0
+		for i := range c.stripes {
+			total += c.stripes[i].cap
+		}
+		if total != capacity {
+			t.Fatalf("capacity %d: stripe caps sum to %d", capacity, total)
+		}
+		want := cacheStripeCount
+		if capacity < want {
+			want = capacity
+		}
+		if len(c.stripes) != want {
+			t.Fatalf("capacity %d: %d stripes, want %d", capacity, len(c.stripes), want)
+		}
+		// Touch many distinct blocks: residency must never exceed capacity.
+		for b := 0; b < 4*capacity+8; b++ {
+			c.touch(BlockID(b))
+		}
+		if got := c.Len(); got > capacity {
+			t.Fatalf("capacity %d: %d blocks resident", capacity, got)
+		}
+	}
+}
+
+// TestCacheStripeEviction: blocks hashing to the same stripe evict each
+// other within that stripe's LRU while other stripes' residents survive —
+// the per-stripe recency semantics of the lock-striped cache.
+func TestCacheStripeEviction(t *testing.T) {
+	c := newBlockCache(4) // 4 stripes of capacity 1; stripe = id mod 4
+	for _, id := range []BlockID{0, 1, 2, 3} {
+		if c.touch(id) {
+			t.Fatalf("block %d hit on first touch", id)
+		}
+	}
+	// Block 4 shares stripe 0 with block 0 and evicts it; 1..3 survive.
+	if c.touch(4) {
+		t.Fatal("block 4 hit on first touch")
+	}
+	if c.touch(0) {
+		t.Fatal("block 0 survived same-stripe eviction")
+	}
+	for _, id := range []BlockID{1, 2, 3} {
+		if !c.touch(id) {
+			t.Fatalf("block %d lost residency to another stripe's traffic", id)
+		}
+	}
+}
+
+// TestCacheConcurrentTouches drives the striped cache from many goroutines
+// (the sharded-query pattern) and checks the invariants that must survive
+// concurrency: no lost structure (every id still resolvable), residency
+// bounded by capacity, and exact hit+miss accounting at the Disk level.
+func TestCacheConcurrentTouches(t *testing.T) {
+	d := NewDisk(Config{BlockBits: 256, CacheBlocks: 32})
+	w := bitio.NewWriter(64 * 256)
+	for i := 0; i < 64*4; i++ {
+		w.WriteBits(uint64(i), 64)
+	}
+	d.AllocStream(w)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				tc := d.NewTouch()
+				b := rng.Int63n(64)
+				if _, err := tc.ReadBits(b*256, 8); err != nil {
+					t.Error(err)
+					return
+				}
+				tc.Close()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	st := d.Stats()
+	if st.CacheHits+st.CacheMisses != workers*perWorker {
+		t.Fatalf("hit+miss %d+%d != %d accesses (atomics lost updates)",
+			st.CacheHits, st.CacheMisses, workers*perWorker)
+	}
+	if st.BlockReads != st.CacheMisses {
+		t.Fatalf("device reads %d != cache misses %d", st.BlockReads, st.CacheMisses)
+	}
+	if got := d.CachedBlocks(); got > 32 {
+		t.Fatalf("%d blocks resident, capacity 32", got)
+	}
 }

@@ -65,6 +65,19 @@ func (f *ChainFile) Append(t *Touch, w *bitio.Writer) error {
 // per chained block.
 func (f *ChainFile) ReadAll(t *Touch) (*bitio.Reader, error) {
 	w := bitio.NewWriter(int(f.bits))
+	if err := f.ReadAllInto(t, w); err != nil {
+		return nil, err
+	}
+	return bitio.NewReader(w.Bytes(), w.Len()), nil
+}
+
+// ReadAllInto reads the whole file into w (which is reset first), charging
+// the same per-block read I/Os as ReadAll. Passing a writer retained across
+// operations makes repeated chain scans allocation-free — the streaming
+// query and rebuild pipelines read member chains through pooled writers.
+func (f *ChainFile) ReadAllInto(t *Touch, w *bitio.Writer) error {
+	w.Reset()
+	w.Grow(int(f.bits))
 	bb := int64(f.d.cfg.BlockBits)
 	rem := f.bits
 	for i := 0; rem > 0; i++ {
@@ -81,14 +94,14 @@ func (f *ChainFile) ReadAll(t *Touch) (*bitio.Reader, error) {
 			}
 			v, err := t.ReadBits(pos, n)
 			if err != nil {
-				return nil, fmt.Errorf("iomodel: chain read: %w", err)
+				return fmt.Errorf("iomodel: chain read: %w", err)
 			}
 			w.WriteBits(v, n)
 			pos += int64(n)
 		}
 		rem -= take
 	}
-	return bitio.NewReader(w.Bytes(), w.Len()), nil
+	return nil
 }
 
 // Truncate resets the file to zero bits, returning all blocks to the disk's

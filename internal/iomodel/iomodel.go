@@ -317,10 +317,20 @@ func (d *Disk) NewTouch() *Touch {
 	return &Touch{d: d, reads: make(map[BlockID]struct{}), writes: make(map[BlockID]struct{})}
 }
 
+// touchPoolMaxBlocks bounds the size of sessions returned to the pool: a
+// rebuild that touched thousands of blocks leaves maps whose bucket arrays
+// never shrink, and clearing those buckets would then dominate every later
+// one-block session that drew the pooled Touch. Oversized sessions are
+// dropped for the garbage collector instead.
+const touchPoolMaxBlocks = 256
+
 // Close returns the session to the disk for reuse by a later NewTouch. The
 // Touch must not be used afterwards; sessions that skip Close are simply
 // garbage collected. Read the session's counters before closing.
 func (t *Touch) Close() {
+	if len(t.reads)+len(t.writes) > touchPoolMaxBlocks {
+		return
+	}
 	clear(t.reads)
 	clear(t.writes)
 	t.charged = 0

@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
-# Run the decode-path and query-engine micro-benchmarks and emit
+# Run the decode-path, query-engine and write-path micro-benchmarks and emit
 # BENCH_<tag>.json so the perf trajectory is tracked from PR to PR.
 #
+# After writing the new file, the script compares allocs/op against the most
+# recent committed BENCH_<n>.json (allocation counts are deterministic across
+# machines, unlike ns/op) and fails loudly on a >20% regression in any
+# benchmark present in both files.
+#
 # Usage: scripts/bench.sh [tag] [count]
-#   tag    suffix for the output file (default: 3, matching this PR's number)
+#   tag    suffix for the output file (default: 4, matching this PR's number)
 #   count  benchmark repetitions (default: 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-3}"
+TAG="${1:-4}"
 COUNT="${2:-3}"
-PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode|BenchmarkShardedQuery|BenchmarkShardedQueryBatch|BenchmarkIndexQuery'
+PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode|BenchmarkShardedQuery|BenchmarkShardedQueryBatch|BenchmarkIndexQuery|BenchmarkAppendDirect|BenchmarkAppendBuffered|BenchmarkRebuild|BenchmarkBuildOptimal|BenchmarkDynamicChange'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . | tee "$RAW"
 
 python3 - "$RAW" "BENCH_${TAG}.json" <<'EOF'
-import json, re, statistics, sys
+import glob, json, re, statistics, sys
 
 raw, out = sys.argv[1], sys.argv[2]
 runs = {}
@@ -45,4 +50,36 @@ with open(out, 'w') as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write('\n')
 print(f'wrote {out} ({len(result)} benchmarks)')
+
+# --- Allocation regression gate vs the previous committed BENCH file. ---
+def tag_of(path):
+    m = re.fullmatch(r'BENCH_(\d+)\.json', path)
+    return int(m.group(1)) if m else None
+
+cur_tag = tag_of(out)
+candidates = sorted(
+    (t, p) for p in glob.glob('BENCH_*.json')
+    if (t := tag_of(p)) is not None and (cur_tag is None or t < cur_tag)
+)
+if not candidates:
+    print('no previous BENCH file; skipping allocation regression gate')
+    sys.exit(0)
+prev_tag, prev_path = candidates[-1]
+prev = json.load(open(prev_path))
+regressions = []
+for name, cur in result.items():
+    old = prev.get(name)
+    if old is None or 'allocs_per_op' not in old or 'allocs_per_op' not in cur:
+        continue
+    # 20% relative headroom plus 2 allocs absolute slack, so benchmarks with
+    # single-digit counts do not flap on a one-allocation wobble.
+    limit = old['allocs_per_op'] * 1.2 + 2
+    if cur['allocs_per_op'] > limit:
+        regressions.append(
+            f"  {name}: {cur['allocs_per_op']:.0f} allocs/op vs {old['allocs_per_op']:.0f} in {prev_path} (limit {limit:.0f})")
+if regressions:
+    print(f'ALLOCATION REGRESSION vs {prev_path}:')
+    print('\n'.join(regressions))
+    sys.exit(1)
+print(f'allocation regression gate passed vs {prev_path}')
 EOF
