@@ -1,0 +1,134 @@
+package secidx
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// overlapBatch builds an overlap-heavy batch: clustered ranges over a narrow
+// character window so queries share most of their cover frontiers.
+func overlapBatch(nq, sigma, window, width int, seed int64) []Range {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Range, nq)
+	for i := range out {
+		lo := uint32(rng.Intn(window))
+		hi := lo + uint32(width)
+		if int(hi) >= sigma {
+			hi = uint32(sigma - 1)
+		}
+		out[i] = Range{Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// TestIndexQueryBatch: the unsharded public batch entry point answers
+// bit-identically to looped Query calls, shares answers between duplicate
+// ranges, and reports a real sharing win on overlapping ranges.
+func TestIndexQueryBatch(t *testing.T) {
+	x := randColumn(10000, 128, 61)
+	ix, err := Build(x, 128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := overlapBatch(16, 128, 40, 20, 62)
+	batch = append(batch, batch[0], batch[5]) // duplicates
+	results, st, err := ix.QueryBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(batch) {
+		t.Fatalf("%d results for %d ranges", len(results), len(batch))
+	}
+	for i, r := range batch {
+		want, _, err := ix.Query(r.Lo, r.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].Card() != want.Card() || results[i].SizeBits() != want.SizeBits() {
+			t.Fatalf("range %d [%d,%d]: batch answer differs from Query", i, r.Lo, r.Hi)
+		}
+		rows, wrows := results[i].Rows(), want.Rows()
+		for j := range wrows {
+			if rows[j] != wrows[j] {
+				t.Fatalf("range %d row %d: %d != %d", i, j, rows[j], wrows[j])
+			}
+		}
+	}
+	if results[16].bm != results[0].bm || results[17].bm != results[5].bm {
+		t.Fatal("duplicate ranges did not share their answer")
+	}
+	if st.SharedSaved == 0 {
+		t.Fatal("overlapping batch reported no shared reads")
+	}
+}
+
+// TestBatchAccountingConcurrent is the block-cache/shared-read accounting
+// test: when the same batch runs concurrently from many goroutines, the
+// device counters must stay exact — SharedSaved scales linearly with the
+// number of batches, every charged read attempt goes through the cache
+// exactly once, and charged reads equal cache misses. A cache-less twin
+// provides the deterministic per-batch reference counts. Run under -race in
+// CI, so the counters' lock discipline is verified too.
+func TestBatchAccountingConcurrent(t *testing.T) {
+	x := randColumn(20000, 256, 71)
+	batch := overlapBatch(24, 256, 50, 25, 72)
+
+	plain, err := BuildSharded(x, 256, ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.ResetDeviceStats()
+	if _, _, err := plain.QueryBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	ref := plain.DeviceStats()
+	if ref.SharedSaved == 0 {
+		t.Fatal("reference batch reported no shared reads")
+	}
+	// Deterministic replay: a second identical batch doubles both counters.
+	if _, _, err := plain.QueryBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if st := plain.DeviceStats(); st.BlockReads != 2*ref.BlockReads || st.SharedSaved != 2*ref.SharedSaved {
+		t.Fatalf("uncached replay: %+v, want exactly twice %+v", st, ref)
+	}
+
+	cached, err := BuildSharded(x, 256, ShardOptions{Shards: 3, CacheBlocks: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.ResetDeviceStats()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := cached.QueryBatch(batch); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := cached.DeviceStats()
+	if st.SharedSaved != goroutines*ref.SharedSaved {
+		t.Fatalf("concurrent SharedSaved = %d, want exactly %d batches x %d",
+			st.SharedSaved, goroutines, ref.SharedSaved)
+	}
+	// Every charged read attempt consults the cache exactly once, so hits
+	// plus misses must equal the cache-less cost of the same batches, and
+	// only misses reach the device.
+	if st.CacheHits+st.CacheMisses != goroutines*ref.BlockReads {
+		t.Fatalf("cache traffic %d+%d, want exactly %d batches x %d reads",
+			st.CacheHits, st.CacheMisses, goroutines, ref.BlockReads)
+	}
+	if st.BlockReads != st.CacheMisses {
+		t.Fatalf("charged reads %d != cache misses %d", st.BlockReads, st.CacheMisses)
+	}
+}

@@ -158,8 +158,13 @@ func BenchmarkShardedQuery(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedQueryBatch runs a deduplicated 32-query batch through the
-// pipelined worker pool, with and without the per-shard block cache.
+// BenchmarkShardedQueryBatch runs 32-query batches through the shared-scan
+// batch planner. The original random batch (moderate overlap) is kept with
+// and without the per-shard block cache; the overlap-zipf variants draw
+// zipf-clustered ranges — the production shape where many concurrent queries
+// hit the same hot key ranges — and pair the planner against a looped
+// per-query baseline, so the blockIO/batch ratio between the two is the
+// shared-scan win.
 func BenchmarkShardedQueryBatch(b *testing.B) {
 	n := 1 << 16
 	rng := rand.New(rand.NewSource(22))
@@ -173,25 +178,48 @@ func BenchmarkShardedQueryBatch(b *testing.B) {
 		batch[i] = Range{Lo: lo, Hi: lo + 8}
 	}
 	batch[7], batch[19] = batch[0], batch[4] // hot repeats
-	for _, cache := range []int{0, 128} {
-		name := "cache=off"
-		if cache > 0 {
-			name = "cache=" + strconv.Itoa(cache)
-		}
-		b.Run(name, func(b *testing.B) {
-			ix, err := BuildSharded(col, 512, ShardOptions{Shards: 4, Workers: 4, CacheBlocks: cache})
+	zrng := rand.New(rand.NewSource(24))
+	zipf := rand.NewZipf(zrng, 1.4, 8, 495)
+	zbatch := make([]Range, 32)
+	for i := range zbatch {
+		lo := uint32(zipf.Uint64())
+		zbatch[i] = Range{Lo: lo, Hi: lo + 16}
+	}
+	for _, bc := range []struct {
+		name   string
+		batch  []Range
+		cache  int
+		looped bool
+	}{
+		{"cache=off", batch, 0, false},
+		{"cache=128", batch, 128, false},
+		{"overlap-zipf", zbatch, 0, false},
+		{"overlap-zipf-looped", zbatch, 0, true},
+		{"overlap-zipf-cache=128", zbatch, 128, false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ix, err := BuildSharded(col, 512, ShardOptions{Shards: 4, Workers: 4, CacheBlocks: bc.cache})
 			if err != nil {
 				b.Fatal(err)
 			}
 			ix.ResetDeviceStats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := ix.QueryBatch(batch); err != nil {
+				if bc.looped {
+					for _, r := range bc.batch {
+						if _, _, err := ix.Query(r.Lo, r.Hi); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else if _, _, err := ix.QueryBatch(bc.batch); err != nil {
 					b.Fatal(err)
 				}
 			}
 			st := ix.DeviceStats()
 			b.ReportMetric(float64(st.BlockReads)/float64(b.N), "blockIO/batch")
+			if st.SharedSaved > 0 {
+				b.ReportMetric(float64(st.SharedSaved)/float64(b.N), "sharedSaved/batch")
+			}
 			if tot := st.CacheHits + st.CacheMisses; tot > 0 {
 				b.ReportMetric(100*float64(st.CacheHits)/float64(tot), "cache-hit-pct")
 			}

@@ -2,6 +2,8 @@ package cbitmap
 
 import (
 	"testing"
+
+	"repro/internal/bitio"
 )
 
 // Allocation regression tests for the hot read paths: obtaining and running
@@ -59,6 +61,41 @@ func TestRankZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Rank allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestDecodeSteadyStateAllocs pins the pooled Decode path: with the sample
+// scratch and output writer pooled, a steady-state decode allocates only the
+// bitmap it returns (buffer, struct, thinned sample slices) — the pre-pooling
+// shape cost ~30 allocations on the same input.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	n := int64(1 << 22)
+	ms := streamTestSets(t, 1, 1<<15, n, 11)
+	bm := ms[0]
+	w := bitio.NewWriter(bm.SizeBits())
+	bm.EncodeTo(w)
+	var r bitio.Reader
+	// Warm the pools.
+	for i := 0; i < 4; i++ {
+		r.Init(w.Bytes(), w.Len())
+		if _, err := Decode(&r, bm.Card(), n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		r.Init(w.Bytes(), w.Len())
+		got, err := Decode(&r, bm.Card(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Card() != bm.Card() {
+			t.Fatal("decode cardinality mismatch")
+		}
+	})
+	const maxAllocs = 7
+	if allocs > maxAllocs {
+		t.Fatalf("steady-state Decode allocated %.1f times per call, want <= %d", allocs, maxAllocs)
 	}
 }
 

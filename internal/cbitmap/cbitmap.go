@@ -273,23 +273,49 @@ func (b *Bitmap) EncodeTo(w *bitio.Writer) {
 	w.CopyBits(&r, b.bits)
 }
 
+// decodeScratch pools Decode's sample-collection slices: a steady-state
+// decode then allocates only the bitmap it returns (buffer, struct, thinned
+// samples) instead of regrowing the provisional sample slices every call.
+type decodeScratch struct {
+	pos []int64
+	off []int32
+}
+
+var decodeScratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+// decodeScratchMaxSamples bounds the slices returned to the pool, so one
+// huge decode does not pin megabytes behind every later small one (the same
+// oversized-pooled-object hazard the Touch and chain-writer pools guard
+// against).
+const decodeScratchMaxSamples = 1 << 16
+
+func (ds *decodeScratch) release(pos []int64, off []int32) {
+	if cap(pos) > decodeScratchMaxSamples {
+		pos, off = nil, nil
+	}
+	ds.pos, ds.off = pos, off
+	decodeScratchPool.Put(ds)
+}
+
 // Decode reads card gamma-coded gaps from r, reconstructing a bitmap over
 // [0,n). This is how bitmaps are read back from disk: the stored stream
 // carries no header, cardinality comes from the node weight. It is a thin
 // wrapper over the streaming core — a Stream performs the validation scan
 // (collecting skip samples along the way), and the scanned bits are then
-// copied whole words at a time. r is left positioned just past the stream.
+// copied whole words at a time into a pooled output writer. r is left
+// positioned just past the stream.
 func Decode(r *bitio.Reader, card, n int64) (*Bitmap, error) {
 	start := r.Pos()
 	var s Stream
 	if err := s.InitDecode(r, start, r.Remaining(), card, n, 0); err != nil {
 		return nil, err
 	}
-	var samplePos []int64
-	var sampleOff []int32
+	ds := decodeScratchPool.Get().(*decodeScratch)
+	samplePos, sampleOff := ds.pos[:0], ds.off[:0]
 	for i := int64(0); i < card; i++ {
 		p, ok := s.Next()
 		if !ok {
+			ds.release(samplePos, sampleOff)
 			return nil, fmt.Errorf("cbitmap: decode gap %d/%d: %w", i, card, s.err)
 		}
 		if (i+1)%sampleEvery == 0 && s.r.Pos()-start <= math.MaxInt32 {
@@ -298,12 +324,21 @@ func Decode(r *bitio.Reader, card, n int64) (*Bitmap, error) {
 		}
 	}
 	bits := s.r.Pos() - start
-	w := bitio.NewWriter(bits)
-	if err := w.CopyBits(r, bits); err != nil {
+	bd := builderPool.Get().(*Builder)
+	bd.reset(bits)
+	if err := bd.w.CopyBits(r, bits); err != nil {
+		builderPool.Put(bd)
+		ds.release(samplePos, sampleOff)
 		return nil, err
 	}
-	b := &Bitmap{n: n, card: card, buf: w.Bytes(), bits: w.Len(), last: s.prev}
-	b.attachSamples(samplePos, sampleOff)
+	// s.prev is -1 when card is 0, matching the empty bitmap's sentinel.
+	b := &Bitmap{n: n, card: card, buf: bd.w.Detach(), bits: bits, last: s.prev}
+	builderPool.Put(bd)
+	if b.attachSamples(samplePos, sampleOff) {
+		// The bitmap took the slices themselves; surrender them to it.
+		samplePos, sampleOff = nil, nil
+	}
+	ds.release(samplePos, sampleOff)
 	return b, nil
 }
 

@@ -56,6 +56,40 @@ func (s *Stream) InitDecode(r *bitio.Reader, start, bits int, card, n, off int64
 	return nil
 }
 
+// InitDecodeValidated initialises s as a replay view over a bit range whose
+// positions an earlier scan already validated (a Drain over the same bits) —
+// the shared-scan batch planner's tee: the member's extent is read and
+// validated once, and every subscribed query then decodes its own
+// cardinality-bounded view of the shared buffer. Validation is skipped and
+// the largest position (last, pre-shift; ignored when card is 0) is known up
+// front, so a merge can drain the view by verbatim tail copy exactly as it
+// drains a bitmap-backed stream.
+func (s *Stream) InitDecodeValidated(r *bitio.Reader, start, bits int, card, last, off int64) error {
+	sub, err := r.Sub(start, bits)
+	if err != nil {
+		return err
+	}
+	*s = Stream{r: sub, left: card, prev: off - 1, off: off, last: -1}
+	if card > 0 {
+		s.last = last + off
+	}
+	return nil
+}
+
+// Drain consumes every remaining position and returns the largest position
+// produced so far (off-1 if the stream never produced one).
+// It is the validation pass a shared scan runs once per member before handing
+// out InitDecodeValidated replay views: a decode or validation error in the
+// member's bits surfaces here, once, instead of in every consumer's merge.
+func (s *Stream) Drain() (last int64, err error) {
+	for s.left > 0 {
+		if _, ok := s.Next(); !ok {
+			return 0, s.err
+		}
+	}
+	return s.prev, nil
+}
+
 // InitBitmap initialises s to produce b's positions shifted by off. The
 // positions were validated when b was built, so traversal skips validation,
 // and b's largest position is known up front — which is what lets a merge

@@ -71,8 +71,15 @@ func (l *treeLayout) sizeBits() int64 {
 	return int64(l.nblocks) * int64(l.disk.BlockBits())
 }
 
+// ioSession is the read surface tree traversals charge through: a per-query
+// iomodel.Touch, or a batch session that additionally attributes the read to
+// the current query of a shared-scan batch.
+type ioSession interface {
+	ReadBits(pos int64, n int) (uint64, error)
+}
+
 // charge marks the structure block holding v as read in the session.
-func (l *treeLayout) charge(tc *iomodel.Touch, v *Node) {
+func (l *treeLayout) charge(tc ioSession, v *Node) {
 	blk := l.blockOf[v.ID]
 	// Touch one bit of the block; the session dedupes repeated touches.
 	_, _ = tc.ReadBits(l.disk.BlockOff(blk), 1)

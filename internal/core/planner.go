@@ -1,0 +1,444 @@
+// Shared-scan batch query planner.
+//
+// The paper's Theorem 2 query bound is per-query: a range reads its cover
+// chunks, one contiguous extent per materialised level. A batch of
+// overlapping ranges shares most of its cover frontier, so the planner plans
+// the whole batch at cover-chunk granularity first and executes it in one
+// shared pass: every query's plan is computed without executing it
+// (PlanQuery), the requested member runs are coalesced per level, each
+// coalesced extent is read exactly once through a BatchTouch session, shared
+// members are validated by a single Drain scan, and every subscribed query
+// then merges cardinality-bounded Stream views over the shared extent
+// buffers. In the Aggarwal–Vitter I/O model the batch therefore reads the
+// blocks of the *union* of its cover extents, not the sum — the saved reads
+// are reported in QueryStats.SharedSaved. Answers are bit-identical to
+// looped single-range Query calls (pinned by differential and fuzz oracles).
+
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/cbitmap"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+)
+
+// PlanChunk identifies one run of cover-frontier members a query reads:
+// members [I,J) of materialised level Level, whose concatenated extent is a
+// single contiguous read (matLevel members tile the level in record order).
+type PlanChunk struct {
+	Level int
+	I, J  int
+}
+
+// QueryPlan is the cover plan of one range query: the per-level member runs
+// whose extents the query reads, plus whether the dense-answer complement
+// trick applies (in which case the chunks cover the two complementary record
+// ranges and the merge inverts the union in the same pass).
+type QueryPlan struct {
+	Complement bool
+	Chunks     []PlanChunk
+}
+
+// PlanQuery computes the cover plan of r without executing it. Planning
+// performs exactly the non-scan I/O of Query — the two prefix-array reads
+// and the blocked tree descent — in its own session, so the returned stats
+// are the plan-phase block reads. Executing the plan is then purely a matter
+// of reading the chunk extents, which is what lets a batch coalesce the
+// extents of many plans and read each one once.
+func (ox *Optimal) PlanQuery(r index.Range) (QueryPlan, index.QueryStats, error) {
+	var stats index.QueryStats
+	if err := r.Valid(ox.tree.sigma); err != nil {
+		return QueryPlan{}, stats, err
+	}
+	tc := ox.disk.NewTouch()
+	defer tc.Close()
+	var plan QueryPlan
+	if err := ox.planInto(tc, r, &plan); err != nil {
+		return QueryPlan{}, stats, err
+	}
+	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+	return plan, stats, nil
+}
+
+// planInto computes r's plan, charging the prefix-array reads and tree
+// descent to ses (a per-query Touch, or a BatchTouch attributing them to the
+// current consumer).
+func (ox *Optimal) planInto(ses ioSession, r index.Range, plan *QueryPlan) error {
+	aLo, err := ses.ReadBits(ox.aExt.Off+int64(r.Lo)*64, 64)
+	if err != nil {
+		return err
+	}
+	aHi, err := ses.ReadBits(ox.aExt.Off+int64(r.Hi+1)*64, 64)
+	if err != nil {
+		return err
+	}
+	qlo, qhi := int64(aLo), int64(aHi)
+	n := ox.tree.n
+	plan.Complement = qhi-qlo > n/2 && !ox.opts.NoComplement
+	if plan.Complement {
+		if err := ox.coverChunks(ses, 0, qlo, plan); err != nil {
+			return err
+		}
+		return ox.coverChunks(ses, qhi, n, plan)
+	}
+	return ox.coverChunks(ses, qlo, qhi, plan)
+}
+
+// coverScratch pools the cover buffer planning reuses across the queries of
+// a batch (and across batches).
+var coverScratchPool = sync.Pool{New: func() any { return new([]*Node) }}
+
+// coverChunks appends the cover chunks of the record range [qlo,qhi) to the
+// plan, charging the tree descent to ses exactly as Query does.
+func (ox *Optimal) coverChunks(ses ioSession, qlo, qhi int64, plan *QueryPlan) error {
+	if qlo >= qhi {
+		return nil
+	}
+	cp := coverScratchPool.Get().(*[]*Node)
+	cover := ox.tree.CoverAppend((*cp)[:0], qlo, qhi, func(v *Node) { ox.layout.charge(ses, v) })
+	defer func() {
+		clear(cover)
+		*cp = cover[:0]
+		coverScratchPool.Put(cp)
+	}()
+	for _, v := range cover {
+		ox.layout.charge(ses, v)
+		li := ox.levelFor(v.Depth)
+		i, j, err := ox.levels[li].chunk(v.Start, v.End)
+		if err != nil {
+			return err
+		}
+		plan.Chunks = append(plan.Chunks, PlanChunk{Level: li, I: i, J: j})
+	}
+	return nil
+}
+
+// lastUnknown marks a run member whose largest position has not been found
+// by a shared validation scan (single-subscriber members are never scanned
+// up front; their consumer validates while merging, exactly as Query does).
+const lastUnknown = math.MinInt64
+
+// memberRun is one requested member index range [i,j) at a level.
+type memberRun struct {
+	i, j int
+}
+
+// planRun is one coalesced run of members [i,j) at a level: its extent is
+// read once into cb, and members subscribed by more than one query carry
+// their pre-scanned largest position in lasts (indexed k-i).
+type planRun struct {
+	i, j  int
+	span  iomodel.Extent
+	cb    *chunkBuf
+	subs  []int32
+	lasts []int64
+}
+
+// batchScratch pools the per-batch planner state: plans, per-level interval
+// and run tables, shared extent buffers, and the per-query stream slices.
+type batchScratch struct {
+	plans   []QueryPlan
+	byLevel [][]memberRun
+	runs    [][]planRun
+	bufs    []*chunkBuf
+	used    int
+	streams []cbitmap.Stream
+	ptrs    []*cbitmap.Stream
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func getBatchScratch() *batchScratch { return batchScratchPool.Get().(*batchScratch) }
+
+// batchBufMaxBytes bounds the coalesced-extent buffers kept by a pooled
+// scratch: a wide batch can coalesce near-whole-level extents, and pooling
+// those would pin megabytes behind every later small batch (the same
+// oversized-pooled-object hazard the Touch, chain-writer and decode-scratch
+// pools guard against). Oversized buffers are dropped for the collector.
+const batchBufMaxBytes = 1 << 20
+
+func (bs *batchScratch) release() {
+	// Clear stream views and run tables before pooling: they reference the
+	// chunk buffers, and an idle entry should retain only the buffers it
+	// owns, not stale views of them.
+	clear(bs.streams)
+	clear(bs.ptrs)
+	bs.streams = bs.streams[:0]
+	bs.ptrs = bs.ptrs[:0]
+	for i := range bs.runs {
+		clear(bs.runs[i])
+		bs.runs[i] = bs.runs[i][:0]
+	}
+	kept := bs.bufs[:0]
+	for _, cb := range bs.bufs {
+		if cap(cb.w.Bytes()) <= batchBufMaxBytes {
+			kept = append(kept, cb)
+		}
+	}
+	clear(bs.bufs[len(kept):])
+	bs.bufs = kept
+	bs.used = 0
+	batchScratchPool.Put(bs)
+}
+
+// growPlans returns k reset plans, reusing each plan's chunk storage.
+func (bs *batchScratch) growPlans(k int) []QueryPlan {
+	for len(bs.plans) < k {
+		bs.plans = append(bs.plans, QueryPlan{})
+	}
+	plans := bs.plans[:k]
+	for i := range plans {
+		plans[i].Complement = false
+		plans[i].Chunks = plans[i].Chunks[:0]
+	}
+	return plans
+}
+
+// growLevels returns the per-level interval and run tables sized to k levels.
+func (bs *batchScratch) growLevels(k int) ([][]memberRun, [][]planRun) {
+	for len(bs.byLevel) < k {
+		bs.byLevel = append(bs.byLevel, nil)
+	}
+	for len(bs.runs) < k {
+		bs.runs = append(bs.runs, nil)
+	}
+	byLevel, runs := bs.byLevel[:k], bs.runs[:k]
+	for i := range byLevel {
+		byLevel[i] = byLevel[i][:0]
+	}
+	for i := range runs {
+		runs[i] = runs[i][:0]
+	}
+	return byLevel, runs
+}
+
+// nextBuf hands out a reset shared extent buffer (cf. queryScratch.nextBuf).
+func (bs *batchScratch) nextBuf() *chunkBuf {
+	if bs.used == len(bs.bufs) {
+		bs.bufs = append(bs.bufs, &chunkBuf{w: bitio.NewWriter(0)})
+	}
+	cb := bs.bufs[bs.used]
+	bs.used++
+	return cb
+}
+
+// streamPtrs returns one pointer per accumulated stream (taken only after
+// all appends, since appends may move the backing array).
+func (bs *batchScratch) streamPtrs() []*cbitmap.Stream {
+	bs.ptrs = bs.ptrs[:0]
+	for i := range bs.streams {
+		bs.ptrs = append(bs.ptrs, &bs.streams[i])
+	}
+	return bs.ptrs
+}
+
+// QueryBatch answers a batch of range queries through the shared-scan
+// planner: duplicate ranges are deduplicated (they share one answer), every
+// distinct query is planned without execution, the requested cover runs are
+// coalesced per level, and each coalesced extent is read and validated once
+// no matter how many queries subscribe to it. The i-th result corresponds to
+// rs[i]; answers are bit-identical to looped Query calls.
+//
+// The returned stats are batch-level: Reads counts each distinct block once
+// for the whole batch (the I/O-model cost of the shared scan), BitsRead
+// counts each coalesced extent once, and SharedSaved reports the block reads
+// avoided versus running each distinct query in its own session — so
+// Reads + SharedSaved is the cost the same batch would have paid through
+// looped Query calls on a cache-less device.
+func (ox *Optimal) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+	var stats index.QueryStats
+	for _, r := range rs {
+		if err := r.Valid(ox.tree.sigma); err != nil {
+			return nil, stats, err
+		}
+	}
+	out := make([]*cbitmap.Bitmap, len(rs))
+	if len(rs) == 0 {
+		return out, stats, nil
+	}
+	uniq := make(map[index.Range]int, len(rs))
+	var order []index.Range
+	for _, r := range rs {
+		if _, ok := uniq[r]; !ok {
+			uniq[r] = len(order)
+			order = append(order, r)
+		}
+	}
+	if len(order) == 1 {
+		// A batch with one distinct range has nothing to share; the
+		// single-query fused pipeline answers it without planner bookkeeping.
+		bm, st, err := ox.Query(order[0])
+		if err != nil {
+			return nil, st, err
+		}
+		for i := range out {
+			out[i] = bm
+		}
+		return out, st, nil
+	}
+	n := ox.tree.n
+	bt := ox.disk.NewBatchTouch()
+	defer bt.Close()
+	bs := getBatchScratch()
+	defer bs.release()
+
+	// Phase 1 — plan every distinct query: prefix-array reads plus tree
+	// descent, attributed to the query so the sharing accounting is exact.
+	plans := bs.growPlans(len(order))
+	for qi, r := range order {
+		bt.StartConsumer(qi)
+		if err := ox.planInto(bt, r, &plans[qi]); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	// Phase 2 — coalesce per level and scan: overlapping or adjacent member
+	// runs merge into one (never across a gap, so the blocks read are exactly
+	// the blocks of the union of the planned extents), each coalesced extent
+	// is read once, and members with more than one subscriber are validated
+	// by a single Drain scan whose recorded largest position every consumer
+	// then reuses.
+	byLevel, runs := bs.growLevels(len(ox.levels))
+	for qi := range plans {
+		for _, c := range plans[qi].Chunks {
+			byLevel[c.Level] = append(byLevel[c.Level], memberRun{c.I, c.J})
+		}
+	}
+	for li := range byLevel {
+		reqs := byLevel[li]
+		if len(reqs) == 0 {
+			continue
+		}
+		sort.Slice(reqs, func(a, b int) bool {
+			if reqs[a].i != reqs[b].i {
+				return reqs[a].i < reqs[b].i
+			}
+			return reqs[a].j < reqs[b].j
+		})
+		cur := reqs[0]
+		for _, rq := range reqs[1:] {
+			if rq.i <= cur.j {
+				if rq.j > cur.j {
+					cur.j = rq.j
+				}
+				continue
+			}
+			runs[li] = append(runs[li], planRun{i: cur.i, j: cur.j})
+			cur = rq
+		}
+		runs[li] = append(runs[li], planRun{i: cur.i, j: cur.j})
+
+		lv := &ox.levels[li]
+		ri := 0
+		for _, rq := range reqs { // subscriber counts, interval difference form
+			for rq.i >= runs[li][ri].j {
+				ri++
+			}
+			run := &runs[li][ri]
+			if run.subs == nil {
+				run.subs = make([]int32, run.j-run.i+1)
+			}
+			run.subs[rq.i-run.i]++
+			run.subs[rq.j-run.i]--
+		}
+		for ri := range runs[li] {
+			run := &runs[li][ri]
+			run.span = iomodel.Extent{
+				Off:  lv.members[run.i].ext.Off,
+				Bits: lv.members[run.j-1].ext.End() - lv.members[run.i].ext.Off,
+			}
+			cb := bs.nextBuf()
+			if err := bt.ReadExtent(run.span, cb.w); err != nil {
+				return nil, stats, err
+			}
+			cb.r.Init(cb.w.Bytes(), cb.w.Len())
+			run.cb = cb
+			stats.BitsRead += run.span.Bits
+			shared := false
+			acc := int32(0)
+			for k := run.i; k < run.j; k++ {
+				acc += run.subs[k-run.i]
+				run.subs[k-run.i] = acc
+				if acc > 1 {
+					shared = true
+				}
+			}
+			if !shared {
+				continue
+			}
+			run.lasts = make([]int64, run.j-run.i)
+			var probe cbitmap.Stream
+			for k := run.i; k < run.j; k++ {
+				run.lasts[k-run.i] = lastUnknown
+				if run.subs[k-run.i] < 2 {
+					continue
+				}
+				m := &lv.members[k]
+				if err := probe.InitDecode(&cb.r, int(m.ext.Off-run.span.Off), int(m.ext.Bits), m.card, n, 0); err != nil {
+					return nil, stats, fmt.Errorf("core: depth %d member %d: %w", lv.depth, k, err)
+				}
+				last, err := probe.Drain()
+				if err != nil {
+					return nil, stats, fmt.Errorf("core: depth %d member %d: %w", lv.depth, k, err)
+				}
+				run.lasts[k-run.i] = last
+			}
+		}
+	}
+
+	// Phase 3 — scatter and merge: every query gets one Stream view per
+	// member of its plan, positioned at the member's recorded bit offset in
+	// the shared extent buffer, and merges them exactly as Query would.
+	answers := make([]*cbitmap.Bitmap, len(order))
+	for qi := range order {
+		bt.StartConsumer(qi)
+		bs.streams = bs.streams[:0]
+		for _, c := range plans[qi].Chunks {
+			lv := &ox.levels[c.Level]
+			lruns := runs[c.Level]
+			run := &lruns[sort.Search(len(lruns), func(x int) bool { return lruns[x].i > c.I })-1]
+			bt.NoteExtent(iomodel.Extent{
+				Off:  lv.members[c.I].ext.Off,
+				Bits: lv.members[c.J-1].ext.End() - lv.members[c.I].ext.Off,
+			})
+			for k := c.I; k < c.J; k++ {
+				m := &lv.members[k]
+				off := int(m.ext.Off - run.span.Off)
+				var s cbitmap.Stream
+				var err error
+				if run.lasts != nil && run.lasts[k-run.i] != lastUnknown {
+					err = s.InitDecodeValidated(&run.cb.r, off, int(m.ext.Bits), m.card, run.lasts[k-run.i], 0)
+				} else {
+					err = s.InitDecode(&run.cb.r, off, int(m.ext.Bits), m.card, n, 0)
+				}
+				if err != nil {
+					return nil, stats, fmt.Errorf("core: depth %d member %d: %w", lv.depth, k, err)
+				}
+				bs.streams = append(bs.streams, s)
+			}
+		}
+		var bm *cbitmap.Bitmap
+		var err error
+		if plans[qi].Complement {
+			bm, err = cbitmap.MergeStreamsComplement(n, bs.streamPtrs()...)
+		} else {
+			bm, err = cbitmap.MergeStreams(n, bs.streamPtrs()...)
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+		answers[qi] = bm
+	}
+	stats.Reads, stats.Writes = bt.Reads(), bt.Writes()
+	stats.SharedSaved = bt.SharedSaved()
+	for i, r := range rs {
+		out[i] = answers[uniq[r]]
+	}
+	return out, stats, nil
+}

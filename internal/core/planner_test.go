@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cbitmap"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/workload"
+)
+
+// planBlocks returns the distinct device blocks query r touches, computed by
+// hand from the index's directory: the two prefix-array entries, the blocked
+// tree descent, and the extent of every cover chunk in the plan. This is the
+// per-query-session cost reference the shared-scan accounting is checked
+// against, built without going through the batch execution path.
+func planBlocks(t *testing.T, ox *Optimal, r index.Range, plan QueryPlan) map[int64]struct{} {
+	t.Helper()
+	bb := int64(ox.disk.BlockBits())
+	set := make(map[int64]struct{})
+	addRange := func(off, bits int64) {
+		if bits == 0 {
+			return
+		}
+		for b := off / bb; b <= (off+bits-1)/bb; b++ {
+			set[b] = struct{}{}
+		}
+	}
+	addRange(ox.aExt.Off+int64(r.Lo)*64, 64)
+	addRange(ox.aExt.Off+int64(r.Hi+1)*64, 64)
+	addNode := func(v *Node) { set[int64(ox.layout.blockOf[v.ID])] = struct{}{} }
+	qlo, qhi := ox.tree.prefix[r.Lo], ox.tree.prefix[r.Hi+1]
+	halves := [][2]int64{{qlo, qhi}}
+	if plan.Complement {
+		halves = [][2]int64{{0, qlo}, {qhi, ox.tree.n}}
+	}
+	for _, h := range halves {
+		if h[0] >= h[1] {
+			continue
+		}
+		for _, v := range ox.tree.Cover(h[0], h[1], addNode) {
+			addNode(v)
+		}
+	}
+	for _, c := range plan.Chunks {
+		lv := &ox.levels[c.Level]
+		off := lv.members[c.I].ext.Off
+		addRange(off, lv.members[c.J-1].ext.End()-off)
+	}
+	return set
+}
+
+// runBatchOracle answers the batch through QueryBatch and through looped
+// Query calls, asserting bit-identical answers and the exact shared-scan
+// accounting: batch Reads must equal the blocks of the union of the queries'
+// hand-computed plans, and Reads + SharedSaved must equal the sum of the
+// per-query session costs (which the looped standalone queries also report).
+func runBatchOracle(t *testing.T, ox *Optimal, rs []index.Range) index.QueryStats {
+	t.Helper()
+	got, stats, err := ox.QueryBatch(rs)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	if len(got) != len(rs) {
+		t.Fatalf("%d results for %d ranges", len(got), len(rs))
+	}
+	seen := make(map[index.Range]int)
+	union := make(map[int64]struct{})
+	perQuerySum, standaloneSum := 0, 0
+	for i, r := range rs {
+		want, st, err := ox.Query(r)
+		if err != nil {
+			t.Fatalf("Query %v: %v", r, err)
+		}
+		if !cbitmap.Equal(got[i], want) {
+			t.Fatalf("range %d %v: batch answer differs from single query", i, r)
+		}
+		if j, ok := seen[r]; ok {
+			if got[i] != got[j] {
+				t.Fatalf("duplicate range %v did not share its answer", r)
+			}
+			continue // accounting covers distinct ranges only
+		}
+		seen[r] = i
+		plan, _, err := ox.PlanQuery(r)
+		if err != nil {
+			t.Fatalf("PlanQuery %v: %v", r, err)
+		}
+		blocks := planBlocks(t, ox, r, plan)
+		if len(blocks) != st.Reads {
+			t.Fatalf("range %v: hand-computed plan covers %d blocks, standalone query read %d",
+				r, len(blocks), st.Reads)
+		}
+		perQuerySum += len(blocks)
+		standaloneSum += st.Reads
+		for b := range blocks {
+			union[b] = struct{}{}
+		}
+	}
+	if len(seen) > 1 {
+		if stats.Reads != len(union) {
+			t.Fatalf("batch read %d blocks, union of hand-computed plans covers %d", stats.Reads, len(union))
+		}
+		if stats.Reads+stats.SharedSaved != perQuerySum {
+			t.Fatalf("Reads %d + SharedSaved %d != per-query-session cost %d",
+				stats.Reads, stats.SharedSaved, perQuerySum)
+		}
+		if standaloneSum != perQuerySum {
+			t.Fatalf("standalone queries read %d blocks, hand-computed plans cover %d", standaloneSum, perQuerySum)
+		}
+	}
+	return stats
+}
+
+// TestQueryBatchDifferential is the planner's differential oracle on random
+// columns: batches with duplicates, overlapping ranges and dense
+// (complement-path) ranges must answer bit-identically to looped Query and
+// satisfy the exact shared-read accounting.
+func TestQueryBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cols := []workload.Column{
+		workload.Uniform(6000, 128, 42),
+		workload.Zipf(5000, 64, 1.3, 43),
+		workload.Sorted(3000, 40),
+	}
+	for ci, col := range cols {
+		d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+		ox, err := BuildOptimalDefault(d, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma := col.Sigma
+		for trial := 0; trial < 4; trial++ {
+			var rs []index.Range
+			for q := 0; q < 10; q++ {
+				lo := uint32(rng.Intn(sigma))
+				hi := lo + uint32(rng.Intn(sigma-int(lo)))
+				rs = append(rs, index.Range{Lo: lo, Hi: hi})
+			}
+			rs = append(rs, rs[0], rs[3])                              // duplicates
+			rs = append(rs, index.Range{Lo: 0, Hi: uint32(sigma) - 1}) // densest: complement path
+			runBatchOracle(t, ox, rs)
+		}
+		_ = ci
+	}
+}
+
+// TestQueryBatchSharingWin pins the acceptance target on an overlap-heavy
+// 32-range batch: the shared scan must read at most half the blocks the same
+// batch pays through per-query sessions. I/O counts on the simulated device
+// are deterministic, so the factor is asserted, not just benchmarked.
+func TestQueryBatchSharingWin(t *testing.T) {
+	col := workload.Uniform(1<<15, 256, 7)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 2048})
+	ox, err := BuildOptimalDefault(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	rs := make([]index.Range, 32)
+	for i := range rs {
+		// Clustered ranges of width 24 over a 64-character window: every
+		// query shares most of its cover frontier with several others.
+		lo := uint32(rng.Intn(64))
+		rs[i] = index.Range{Lo: lo, Hi: lo + 24}
+	}
+	stats := runBatchOracle(t, ox, rs)
+	if stats.SharedSaved < stats.Reads {
+		t.Fatalf("overlap-heavy batch: Reads=%d SharedSaved=%d, want >=2x sharing win",
+			stats.Reads, stats.SharedSaved)
+	}
+}
+
+// TestQueryBatchEdgeCases covers the degenerate shapes around the planner:
+// empty batches, single-range delegation, all-duplicate batches, and
+// invalid ranges.
+func TestQueryBatchEdgeCases(t *testing.T) {
+	col := workload.Uniform(2000, 32, 9)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	ox, err := BuildOptimalDefault(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, _, err := ox.QueryBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v len=%d", err, len(out))
+	}
+	// A batch of one distinct range (possibly repeated) delegates to the
+	// single-query pipeline and shares the one answer.
+	rs := []index.Range{{Lo: 3, Hi: 9}, {Lo: 3, Hi: 9}, {Lo: 3, Hi: 9}}
+	out, st, err := ox.QueryBatch(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != out[1] || out[1] != out[2] {
+		t.Fatal("repeated single range did not share its answer")
+	}
+	if st.SharedSaved != 0 {
+		t.Fatalf("single distinct range reported SharedSaved=%d", st.SharedSaved)
+	}
+	want, _, err := ox.Query(index.Range{Lo: 3, Hi: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cbitmap.Equal(out[0], want) {
+		t.Fatal("single-range batch answer differs from Query")
+	}
+	if _, _, err := ox.QueryBatch([]index.Range{{Lo: 1, Hi: 2}, {Lo: 5, Hi: 99}}); err == nil {
+		t.Fatal("out-of-alphabet range accepted")
+	}
+	if _, _, err := ox.PlanQuery(index.Range{Lo: 9, Hi: 3}); err == nil {
+		t.Fatal("inverted range accepted by PlanQuery")
+	}
+}
+
+// TestPlanQueryShape sanity-checks the exposed plan: chunks land on
+// materialised levels, member runs are non-empty and tile the query's record
+// range (summed member weights equal z, or n-z on the complement path).
+func TestPlanQueryShape(t *testing.T) {
+	col := workload.Uniform(4000, 64, 10)
+	d := iomodel.NewDisk(iomodel.Config{BlockBits: 1024})
+	ox, err := BuildOptimalDefault(d, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []index.Range{{Lo: 0, Hi: 5}, {Lo: 10, Hi: 40}, {Lo: 0, Hi: 63}} {
+		plan, st, err := ox.PlanQuery(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Reads == 0 {
+			t.Fatalf("plan %v: no plan-phase reads charged", r)
+		}
+		var covered int64
+		for _, c := range plan.Chunks {
+			if c.Level < 0 || c.Level >= len(ox.levels) || c.I >= c.J {
+				t.Fatalf("plan %v: bad chunk %+v", r, c)
+			}
+			lv := &ox.levels[c.Level]
+			covered += lv.members[c.J-1].end - lv.members[c.I].start
+		}
+		z := ox.tree.prefix[r.Hi+1] - ox.tree.prefix[r.Lo]
+		want := z
+		if plan.Complement {
+			want = ox.tree.n - z
+		}
+		if covered != want {
+			t.Fatalf("plan %v: chunks cover %d records, want %d (complement=%v)",
+				r, covered, want, plan.Complement)
+		}
+	}
+}

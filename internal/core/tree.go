@@ -224,14 +224,20 @@ func (t *Tree) build(parent *Node, depth int, start, end int64, h int) *Node {
 // inspected on the way down, so the caller can charge the I/Os of the tree
 // traversal (§2.2's O(lg_b n) search term).
 func (t *Tree) Cover(qlo, qhi int64, visited func(*Node)) []*Node {
-	var out []*Node
+	return t.CoverAppend(nil, qlo, qhi, visited)
+}
+
+// CoverAppend is Cover appending to dst, so callers that compute many covers
+// (the batch planner plans every query of a batch) can reuse one buffer
+// instead of growing a fresh slice per cover.
+func (t *Tree) CoverAppend(dst []*Node, qlo, qhi int64, visited func(*Node)) []*Node {
 	var rec func(v *Node)
 	rec = func(v *Node) {
 		if v.End <= qlo || v.Start >= qhi {
 			return
 		}
 		if qlo <= v.Start && v.End <= qhi {
-			out = append(out, v)
+			dst = append(dst, v)
 			return
 		}
 		if visited != nil {
@@ -242,7 +248,7 @@ func (t *Tree) Cover(qlo, qhi int64, visited func(*Node)) []*Node {
 		}
 	}
 	rec(t.Root)
-	return out
+	return dst
 }
 
 // Validate checks the structural invariants the analysis relies on and is

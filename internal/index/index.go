@@ -16,10 +16,20 @@ import (
 // distinct blocks read and written (the paper's cost measure) and the
 // number of compressed bits the query algorithm consumed, which the
 // optimality experiments compare against the information bound.
+//
+// For a batch of queries answered through a shared-scan session the stats
+// are batch-level: Reads counts each distinct block once for the whole
+// batch, and SharedSaved counts the block reads the batch avoided compared
+// to running every query in its own session (so Reads + SharedSaved is the
+// per-query-session cost of the same batch).
 type QueryStats struct {
 	Reads    int
 	Writes   int
 	BitsRead int64
+	// SharedSaved is the number of block reads avoided by shared scans: the
+	// sum over the batch's queries of their distinct blocks, minus the
+	// distinct blocks of the whole batch. Zero for single queries.
+	SharedSaved int
 }
 
 // Add accumulates other into s.
@@ -27,6 +37,7 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.Reads += other.Reads
 	s.Writes += other.Writes
 	s.BitsRead += other.BitsRead
+	s.SharedSaved += other.SharedSaved
 }
 
 // Range is an alphabet range query [Lo,Hi] (inclusive, as in the paper).

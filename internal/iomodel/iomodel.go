@@ -55,6 +55,11 @@ type Stats struct {
 	Sessions    atomic.Int64
 	CacheHits   atomic.Int64 // reads served by the block cache (no I/O)
 	CacheMisses atomic.Int64 // cache-enabled reads that went to the device
+	// SharedSaved counts block reads avoided by shared-scan batch sessions:
+	// blocks that several queries of one BatchTouch needed but that the batch
+	// read (and charged) only once. Unlike CacheHits it measures sharing
+	// within one batch, not residency across operations.
+	SharedSaved atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of the counters.
@@ -64,6 +69,7 @@ type StatsSnapshot struct {
 	Sessions    int64
 	CacheHits   int64
 	CacheMisses int64
+	SharedSaved int64
 }
 
 // Extent identifies a bit range on the disk.
@@ -89,8 +95,10 @@ type Disk struct {
 	cache    *blockCache // nil unless Config.CacheBlocks > 0
 	// touches recycles Touch sessions: the per-session block sets are maps,
 	// and clearing them on Close is far cheaper than reallocating them for
-	// every query in the steady-state pooled pipeline.
+	// every query in the steady-state pooled pipeline. batches does the same
+	// for shared-scan BatchTouch sessions.
 	touches sync.Pool
+	batches sync.Pool
 }
 
 // ErrInvalidRange reports an out-of-bounds disk access.
@@ -133,6 +141,7 @@ func (d *Disk) Stats() StatsSnapshot {
 		Sessions:    d.stats.Sessions.Load(),
 		CacheHits:   d.stats.CacheHits.Load(),
 		CacheMisses: d.stats.CacheMisses.Load(),
+		SharedSaved: d.stats.SharedSaved.Load(),
 	}
 }
 
@@ -143,6 +152,7 @@ func (d *Disk) ResetStats() {
 	d.stats.Sessions.Store(0)
 	d.stats.CacheHits.Store(0)
 	d.stats.CacheMisses.Store(0)
+	d.stats.SharedSaved.Store(0)
 }
 
 // CachedBlocks returns the number of blocks currently resident in the cache

@@ -9,8 +9,10 @@
 // report exactly the same total block transfers as one device would (plus
 // per-shard tree overhead). Shard builds and queries run through one bounded
 // worker pool. Each per-shard query runs the fused streaming pipeline
-// (decode and merge in one pass over the bits read, cbitmap.MergeStreams),
-// and the per-shard answers feed the same merge via cbitmap.UnionAll with
+// (decode and merge in one pass over the bits read, cbitmap.MergeStreams);
+// batches run each shard through core's shared-scan batch planner, so
+// overlapping ranges read every coalesced cover-chunk extent once per shard.
+// The per-shard answers feed the same merge via cbitmap.UnionAll with
 // row-id offsetting: its contiguous-shard fast path re-encodes only each
 // shard's head gap and copies the rest of the compressed answer verbatim.
 package shard
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cbitmap"
 	"repro/internal/core"
@@ -159,6 +162,7 @@ func (sx *Index) DeviceStats() iomodel.StatsSnapshot {
 		out.Sessions += st.Sessions
 		out.CacheHits += st.CacheHits
 		out.CacheMisses += st.CacheMisses
+		out.SharedSaved += st.SharedSaved
 	}
 	return out
 }
@@ -184,31 +188,67 @@ func (sx *Index) ResetDeviceStats() {
 // Query answers I[lo;hi] by fanning the range out to every shard and merging
 // the compressed per-shard answers, rebased by each shard's row offset. The
 // returned stats sum the per-shard I/O costs (total block transfers; on S
-// independent devices the critical path is roughly 1/S of it). It is a
-// single-range batch, so the fan-out + merge pipeline exists once.
+// independent devices the critical path is roughly 1/S of it). A single
+// range has nothing to share, so it runs the per-shard fused pipeline
+// directly rather than the batch planner.
 func (sx *Index) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
-	bms, st, err := sx.QueryBatch([]index.Range{r})
-	if err != nil {
-		return nil, st, err
+	var stats index.QueryStats
+	if err := r.Valid(sx.sigma); err != nil {
+		return nil, stats, err
 	}
-	return bms[0], st, nil
+	if len(sx.shards) == 1 {
+		// One shard covers every row, so its local answer is already the
+		// global one (row offset 0) — no fan-out, no merge.
+		return sx.shards[0].ax.Query(r)
+	}
+	parts := make([]cbitmap.Shifted, len(sx.shards))
+	sts := make([]index.QueryStats, len(sx.shards))
+	errs := make([]error, len(sx.shards))
+	var failed atomic.Bool
+	sx.runTasks(len(sx.shards), &failed, func(i int) error {
+		bm, st, err := sx.shards[i].ax.Query(r)
+		if err != nil {
+			return err
+		}
+		parts[i] = cbitmap.Shifted{Bm: bm, Off: sx.shards[i].start}
+		sts[i] = st
+		return nil
+	}, errs)
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	for _, st := range sts {
+		stats.Add(st)
+	}
+	out, err := cbitmap.UnionAll(sx.n, parts...)
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
 }
 
-// batchSlot accumulates one deduplicated range's per-shard answers.
-type batchSlot struct {
-	mu    sync.Mutex
-	parts []cbitmap.Shifted
-	stats index.QueryStats
-	left  int
-	out   *cbitmap.Bitmap
-	err   error
+// shardBatchQuery is the per-shard batch entry point: the shard runs the
+// whole deduplicated batch through core's shared-scan planner, so ranges
+// that overlap coalesce their cover-chunk reads inside every shard. It is a
+// variable so tests can inject failing shards.
+var shardBatchQuery = func(sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+	return sh.ax.QueryBatch(rs)
 }
 
 // QueryBatch answers a batch of ranges. Duplicate ranges are deduplicated
-// (they share one answer and pay I/O once), and all per-shard queries of the
-// whole batch flow through one bounded worker pool, so shard work for later
-// ranges overlaps the merges of earlier ones. The i-th result corresponds to
-// rs[i]; the returned stats aggregate the whole batch.
+// (they share one answer and pay I/O once). Each shard answers the whole
+// deduplicated batch in one shared-scan planner pass — overlapping ranges
+// read each coalesced cover-chunk extent once per shard, not once per range —
+// and the per-range cross-shard merges then run through the same bounded
+// worker pool. The i-th result corresponds to rs[i]; the returned stats
+// aggregate the whole batch at batch level (each shard's distinct blocks are
+// charged once, with the reads avoided by sharing in Stats.SharedSaved).
+//
+// A failing shard short-circuits the batch: tasks not yet started are
+// drained without running once any task records an error, and the first
+// error in shard order is returned.
 func (sx *Index) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
 	var stats index.QueryStats
 	uniq := make(map[index.Range]int, len(rs))
@@ -222,72 +262,110 @@ func (sx *Index) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QuerySta
 			order = append(order, r)
 		}
 	}
-	slots := make([]batchSlot, len(order))
-	for i := range slots {
-		slots[i].parts = make([]cbitmap.Shifted, len(sx.shards))
-		slots[i].left = len(sx.shards)
+	out := make([]*cbitmap.Bitmap, len(rs))
+	if len(order) == 0 {
+		return out, stats, nil
 	}
-	type task struct {
-		slot  int
-		shard int
+	if len(order) == 1 {
+		// One distinct range: the direct single-query fan-out, no planner.
+		bm, st, err := sx.Query(order[0])
+		if err != nil {
+			return nil, st, err
+		}
+		for i := range out {
+			out[i] = bm
+		}
+		return out, st, nil
 	}
-	tasks := make(chan task)
-	var wg sync.WaitGroup
+
+	// Phase 1 — per-shard shared scans, one task per shard through the pool.
+	perShard := make([][]*cbitmap.Bitmap, len(sx.shards))
+	shardStats := make([]index.QueryStats, len(sx.shards))
+	errs := make([]error, len(sx.shards))
+	var failed atomic.Bool
+	sx.runTasks(len(sx.shards), &failed, func(i int) error {
+		bms, st, err := shardBatchQuery(sx.shards[i], order)
+		if err != nil {
+			return err
+		}
+		perShard[i], shardStats[i] = bms, st
+		return nil
+	}, errs)
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	for _, st := range shardStats {
+		stats.Add(st)
+	}
+
+	// Phase 2 — per-range cross-shard merges through the same pool. UnionAll
+	// feeds the shard answers through the streaming k-way merge with head-gap
+	// offsetting; shard answers are disjoint and ordered, so the merge
+	// degenerates to verbatim concatenation.
+	merged := make([]*cbitmap.Bitmap, len(order))
+	if len(sx.shards) == 1 {
+		// One shard covers every row: its local answers are already global
+		// (row offset 0), so the merge pass would only re-copy them.
+		copy(merged, perShard[0])
+		for i, r := range rs {
+			out[i] = merged[uniq[r]]
+		}
+		return out, stats, nil
+	}
+	mergeErrs := make([]error, len(order))
+	failed.Store(false)
+	sx.runTasks(len(order), &failed, func(qi int) error {
+		parts := make([]cbitmap.Shifted, len(sx.shards))
+		for hi, sh := range sx.shards {
+			parts[hi] = cbitmap.Shifted{Bm: perShard[hi][qi], Off: sh.start}
+		}
+		var err error
+		merged[qi], err = cbitmap.UnionAll(sx.n, parts...)
+		return err
+	}, mergeErrs)
+	for _, err := range mergeErrs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	for i, r := range rs {
+		out[i] = merged[uniq[r]]
+	}
+	return out, stats, nil
+}
+
+// runTasks executes run(0..n-1) through min(workers, n) pool goroutines
+// pulling task indices from a shared counter, recording per-task errors in
+// errs. Once any task fails, tasks that have not started yet are drained
+// without running — the batch is doomed, so the remaining work would be
+// wasted I/O and the error should surface promptly.
+func (sx *Index) runTasks(n int, failed *atomic.Bool, run func(int) error, errs []error) {
 	workers := sx.workers
-	if total := len(order) * len(sx.shards); workers > total {
-		workers = total
+	if workers > n {
+		workers = n
 	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for tk := range tasks {
-				sl := &slots[tk.slot]
-				sh := sx.shards[tk.shard]
-				bm, st, err := sh.ax.Query(order[tk.slot])
-				sl.mu.Lock()
-				if err != nil {
-					if sl.err == nil {
-						sl.err = err
-					}
-				} else {
-					sl.parts[tk.shard] = cbitmap.Shifted{Bm: bm, Off: sh.start}
-					sl.stats.Add(st)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
 				}
-				sl.left--
-				ready := sl.left == 0 && sl.err == nil
-				sl.mu.Unlock()
-				if ready {
-					// The completing worker merges, pipelined with other
-					// ranges' shard queries still in flight. UnionAll feeds
-					// the shard answers through the streaming k-way merge
-					// with head-gap offsetting; shard answers are disjoint
-					// and ordered, so the merge degenerates to verbatim
-					// concatenation.
-					out, err := cbitmap.UnionAll(sx.n, sl.parts...)
-					sl.mu.Lock()
-					sl.out, sl.err = out, err
-					sl.mu.Unlock()
+				if failed.Load() {
+					continue // short-circuit: a sibling task already failed
+				}
+				if err := run(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for si := range order {
-		for hi := range sx.shards {
-			tasks <- task{slot: si, shard: hi}
-		}
-	}
-	close(tasks)
 	wg.Wait()
-	for i := range slots {
-		if slots[i].err != nil {
-			return nil, stats, slots[i].err
-		}
-		stats.Add(slots[i].stats)
-	}
-	out := make([]*cbitmap.Bitmap, len(rs))
-	for i, r := range rs {
-		out[i] = slots[uniq[r]].out
-	}
-	return out, stats, nil
 }

@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cbitmap"
+	"repro/internal/index"
+)
+
+func testColumn(n, sigma int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]uint32, n)
+	for i := range x {
+		x[i] = uint32(rng.Intn(sigma))
+	}
+	return x
+}
+
+// TestQueryBatchShortCircuit injects a failing shard and checks that the
+// batch aborts promptly: with one worker, tasks queued behind the failure
+// must be drained without running, and the injected error is what surfaces.
+func TestQueryBatchShortCircuit(t *testing.T) {
+	x := testColumn(4000, 64, 51)
+	sx, err := Build(x, 64, Options{Shards: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected shard failure")
+	var calls atomic.Int32
+	orig := shardBatchQuery
+	defer func() { shardBatchQuery = orig }()
+	shardBatchQuery = func(sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+		calls.Add(1)
+		return nil, index.QueryStats{}, injected
+	}
+	_, _, err = sx.QueryBatch([]index.Range{{Lo: 0, Hi: 7}, {Lo: 3, Hi: 12}})
+	if !errors.Is(err, injected) {
+		t.Fatalf("batch error = %v, want the injected failure", err)
+	}
+	// One worker serialises the 8 shard tasks; the first fails, so every
+	// later task must see the failure flag and drain without running.
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d shard tasks ran after the failure, want short-circuit after 1", got)
+	}
+}
+
+// TestQueryBatchPartialFailure fails only one shard and checks the error
+// still surfaces (no lost error when healthy shards complete first) and that
+// a subsequent batch on the same index succeeds — the failure leaves no
+// poisoned state behind.
+func TestQueryBatchPartialFailure(t *testing.T) {
+	x := testColumn(4000, 64, 52)
+	sx, err := Build(x, 64, Options{Shards: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := shardBatchQuery
+	defer func() { shardBatchQuery = orig }()
+	fail := true
+	shardBatchQuery = func(sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+		if fail && sh.start == 0 {
+			return nil, index.QueryStats{}, fmt.Errorf("shard at row 0 is down")
+		}
+		return orig(sh, rs)
+	}
+	if _, _, err := sx.QueryBatch([]index.Range{{Lo: 0, Hi: 7}, {Lo: 8, Hi: 15}}); err == nil {
+		t.Fatal("batch with a failing shard returned no error")
+	}
+	fail = false
+	out, _, err := sx.QueryBatch([]index.Range{{Lo: 0, Hi: 7}})
+	if err != nil {
+		t.Fatalf("batch after recovery: %v", err)
+	}
+	if out[0] == nil {
+		t.Fatal("batch after recovery returned no answer")
+	}
+}

@@ -2,18 +2,18 @@
 # Run the decode-path, query-engine and write-path micro-benchmarks and emit
 # BENCH_<tag>.json so the perf trajectory is tracked from PR to PR.
 #
-# After writing the new file, the script compares allocs/op against the most
-# recent committed BENCH_<n>.json (allocation counts are deterministic across
-# machines, unlike ns/op) and fails loudly on a >20% regression in any
-# benchmark present in both files.
+# After writing the new file, the script compares allocs/op and blockIO/op
+# (including blockIO/batch) against the most recent committed BENCH_<n>.json
+# — both are deterministic across machines, unlike ns/op — and fails loudly
+# on a >20% regression in any benchmark present in both files.
 #
 # Usage: scripts/bench.sh [tag] [count]
-#   tag    suffix for the output file (default: 4, matching this PR's number)
+#   tag    suffix for the output file (default: 5, matching this PR's number)
 #   count  benchmark repetitions (default: 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-4}"
+TAG="${1:-5}"
 COUNT="${2:-3}"
 PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode|BenchmarkShardedQuery|BenchmarkShardedQueryBatch|BenchmarkIndexQuery|BenchmarkAppendDirect|BenchmarkAppendBuffered|BenchmarkRebuild|BenchmarkBuildOptimal|BenchmarkDynamicChange'
 RAW="$(mktemp)"
@@ -66,20 +66,25 @@ if not candidates:
     sys.exit(0)
 prev_tag, prev_path = candidates[-1]
 prev = json.load(open(prev_path))
+# Gated metrics: allocation counts and I/O-model block counts. Both carry
+# 20% relative headroom plus 2 absolute slack, so benchmarks with
+# single-digit counts do not flap on a one-unit wobble.
+GATED = ('allocs_per_op', 'blockIO_per_op', 'blockIO_per_batch')
 regressions = []
 for name, cur in result.items():
     old = prev.get(name)
-    if old is None or 'allocs_per_op' not in old or 'allocs_per_op' not in cur:
+    if old is None:
         continue
-    # 20% relative headroom plus 2 allocs absolute slack, so benchmarks with
-    # single-digit counts do not flap on a one-allocation wobble.
-    limit = old['allocs_per_op'] * 1.2 + 2
-    if cur['allocs_per_op'] > limit:
-        regressions.append(
-            f"  {name}: {cur['allocs_per_op']:.0f} allocs/op vs {old['allocs_per_op']:.0f} in {prev_path} (limit {limit:.0f})")
+    for metric in GATED:
+        if metric not in old or metric not in cur:
+            continue
+        limit = old[metric] * 1.2 + 2
+        if cur[metric] > limit:
+            regressions.append(
+                f"  {name}: {cur[metric]:.1f} {metric} vs {old[metric]:.1f} in {prev_path} (limit {limit:.1f})")
 if regressions:
-    print(f'ALLOCATION REGRESSION vs {prev_path}:')
+    print(f'BENCHMARK REGRESSION vs {prev_path}:')
     print('\n'.join(regressions))
     sys.exit(1)
-print(f'allocation regression gate passed vs {prev_path}')
+print(f'allocs/blockIO regression gate passed vs {prev_path}')
 EOF

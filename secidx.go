@@ -31,15 +31,21 @@ import (
 )
 
 // Stats reports the I/O-model cost of one operation: distinct blocks read
-// and written, and the number of compressed bits consumed.
+// and written, and the number of compressed bits consumed. For batch
+// operations the stats are batch-level: Reads charges each distinct block
+// once for the whole batch, and SharedSaved reports the block reads the
+// shared-scan planner avoided versus running every query in its own session
+// (Reads + SharedSaved is the looped-query cost of the same batch on a
+// cache-less device).
 type Stats struct {
-	Reads    int
-	Writes   int
-	BitsRead int64
+	Reads       int
+	Writes      int
+	BitsRead    int64
+	SharedSaved int
 }
 
 func fromQS(s index.QueryStats) Stats {
-	return Stats{Reads: s.Reads, Writes: s.Writes, BitsRead: s.BitsRead}
+	return Stats{Reads: s.Reads, Writes: s.Writes, BitsRead: s.BitsRead, SharedSaved: s.SharedSaved}
 }
 
 // Result is a query answer: a compressed set of row ids.
@@ -155,6 +161,30 @@ func (ix *Index) Query(lo, hi uint32) (*Result, Stats, error) {
 		return nil, fromQS(st), err
 	}
 	return &Result{bm: bm}, fromQS(st), nil
+}
+
+// QueryBatch answers a batch of ranges through the shared-scan batch
+// planner: the whole batch is planned at cover-chunk granularity, duplicate
+// ranges are deduplicated (they share one answer), overlapping ranges
+// coalesce their cover reads, and every coalesced extent is read — and its
+// shared members validated — once for the batch; each subscribing query then
+// merges its own stream views over the shared buffers. Answers are
+// bit-identical to looped Query calls; the i-th result corresponds to
+// ranges[i]. Stats are batch-level (see Stats).
+func (ix *Index) QueryBatch(ranges []Range) ([]*Result, Stats, error) {
+	rs := make([]index.Range, len(ranges))
+	for i, r := range ranges {
+		rs[i] = index.Range{Lo: r.Lo, Hi: r.Hi}
+	}
+	bms, st, err := ix.ax.QueryBatch(rs)
+	if err != nil {
+		return nil, fromQS(st), err
+	}
+	out := make([]*Result, len(bms))
+	for i, bm := range bms {
+		out[i] = &Result{bm: bm}
+	}
+	return out, fromQS(st), nil
 }
 
 // ApproxResult is the answer of an approximate query: a superset of the

@@ -80,9 +80,14 @@ func (ix *ShardedIndex) Query(lo, hi uint32) (*Result, Stats, error) {
 	return &Result{bm: bm}, fromQS(st), nil
 }
 
-// QueryBatch answers a batch of ranges through one worker pool: duplicate
-// ranges are deduplicated (answered once, shared), and per-shard work for
-// different ranges is pipelined. The i-th result answers ranges[i].
+// QueryBatch answers a batch of ranges through the shared-scan batch
+// planner: duplicate ranges are deduplicated (answered once, shared), each
+// shard plans and executes the whole batch in one pass — overlapping ranges
+// read every coalesced cover-chunk extent once per shard — and the per-range
+// cross-shard merges run through one bounded worker pool. A failing shard
+// short-circuits the rest of the batch. The i-th result answers ranges[i];
+// stats are batch-level, with the block reads avoided by sharing reported in
+// Stats.SharedSaved and DeviceStats.SharedSaved.
 func (ix *ShardedIndex) QueryBatch(ranges []Range) ([]*Result, Stats, error) {
 	rs := make([]index.Range, len(ranges))
 	for i, r := range ranges {
@@ -106,6 +111,11 @@ type DeviceStats struct {
 	BlockWrites int64
 	CacheHits   int64
 	CacheMisses int64
+	// SharedSaved counts block reads avoided by shared-scan batch sessions:
+	// blocks several queries of one batch needed but the batch read once.
+	// Unlike CacheHits (residency across operations) it measures sharing
+	// within single batches.
+	SharedSaved int64
 }
 
 // DeviceStats returns the summed per-shard device counters.
@@ -116,6 +126,7 @@ func (ix *ShardedIndex) DeviceStats() DeviceStats {
 		BlockWrites: st.BlockWrites,
 		CacheHits:   st.CacheHits,
 		CacheMisses: st.CacheMisses,
+		SharedSaved: st.SharedSaved,
 	}
 }
 
