@@ -1,0 +1,107 @@
+package secidx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// validSerialized builds a small index and returns its serialised bytes.
+func validSerialized(tb testing.TB, n, sigma int) []byte {
+	tb.Helper()
+	ix, err := Build(randColumn(n, sigma, 19), sigma, Options{Seed: 7})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// hostileHeader serialises a syntactically well-formed header that declares
+// the given row count and alphabet but carries no column payload.
+func hostileHeader(n, sigma uint64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	for _, v := range []uint64{formatVersion, n, sigma, 0, 0, 0, 0, 0} {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf.Write(w[:])
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad feeds Load arbitrary bytes — seeded with valid files, bit flips
+// and truncations — and checks the contract for untrusted input: never a
+// panic, never a header-driven over-allocation, and every input-caused
+// failure typed ErrCorrupt. Inputs that load successfully must survive a
+// WriteTo round trip that reproduces the same index.
+func FuzzLoad(f *testing.F) {
+	good := validSerialized(f, 500, 16)
+	f.Add(good)
+	f.Add(good[:len(good)-9]) // lost checksum trailer
+	f.Add(good[:11])          // cut mid-header
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte(magic))
+	f.Add([]byte("notsecidx-at-all"))
+	f.Add(hostileHeader(1<<39, 9))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Load(bytes.NewReader(data))
+		if err != nil {
+			// bytes.Reader never fails on its own, so any error here was
+			// caused by the input and must carry the typed sentinel.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("input-caused Load error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatalf("re-serialising a loaded index: %v", err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round trip of a loaded index: %v", err)
+		}
+		if back.Len() != ix.Len() || back.Sigma() != ix.Sigma() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", ix.Len(), ix.Sigma(), back.Len(), back.Sigma())
+		}
+	})
+}
+
+// TestLoadHostileHeaderBoundedAlloc feeds Load a well-formed header that
+// declares a column of 2^39 rows backed by zero payload bytes and checks the
+// loader neither trusts the declared size for its allocations nor crawls
+// through a phantom 2^39-row loop: it must fail fast with ErrCorrupt having
+// allocated no more than the chunked column cap.
+func TestLoadHostileHeaderBoundedAlloc(t *testing.T) {
+	hostile := hostileHeader(1<<39, 9)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := Load(bytes.NewReader(hostile))
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile header error = %v, want ErrCorrupt", err)
+	}
+	// The declared column would be 2 TiB; the chunked cap plus reader
+	// scratch is well under 8 MiB.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Fatalf("hostile header allocated %d bytes, want bounded by the chunk cap", grew)
+	}
+	// Declared sizes beyond the hard caps are rejected outright.
+	if _, err := Load(bytes.NewReader(hostileHeader(1<<41, 9))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-cap row count error = %v, want ErrCorrupt", err)
+	}
+	if _, err := Load(bytes.NewReader(hostileHeader(100, 1<<23))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-cap sigma error = %v, want ErrCorrupt", err)
+	}
+}

@@ -40,6 +40,15 @@ const (
 	minSampleCard  = 256 // don't bother sampling tiny bitmaps
 )
 
+// ErrCorrupt reports that encoded bits failed decode validation: a gamma
+// code ran past the end of its stream, or a decoded position fell outside
+// the universe or below its predecessor. Query pipelines surface it (wrapped
+// with context) instead of panicking, so a caller can distinguish corrupt
+// storage from programming errors with errors.Is(err, ErrCorrupt). Silent
+// corruption that happens to decode to a well-formed stream is, by nature,
+// not detectable at this layer.
+var ErrCorrupt = errors.New("cbitmap: corrupt encoded data")
+
 // Bitmap is an immutable compressed set of positions in [0, Universe()).
 // The zero value is an empty set over an empty universe.
 type Bitmap struct {

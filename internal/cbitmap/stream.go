@@ -50,7 +50,7 @@ func (s *Stream) InitDecode(r *bitio.Reader, start, bits int, card, n, off int64
 		// vmax = off+n would read as "validation disabled" when off and n are
 		// both zero; an empty universe cannot hold any position, so reject
 		// the cardinality outright instead.
-		return fmt.Errorf("cbitmap: stream of %d positions in empty universe [0,%d)", card, n)
+		return fmt.Errorf("%w: stream of %d positions in empty universe [0,%d)", ErrCorrupt, card, n)
 	}
 	*s = Stream{r: sub, left: card, prev: off - 1, off: off, vmax: off + n, last: -1}
 	return nil
@@ -152,7 +152,7 @@ func (s *Stream) Next() (pos int64, ok bool) {
 func (s *Stream) nextSlow() (int64, bool) {
 	g, err := gamma.Read(&s.r)
 	if err != nil {
-		s.err = fmt.Errorf("cbitmap: stream decode with %d gaps pending: %w", s.left, err)
+		s.err = fmt.Errorf("%w: stream decode with %d gaps pending: %v", ErrCorrupt, s.left, err)
 		s.left = 0
 		return 0, false
 	}
@@ -169,7 +169,7 @@ func (s *Stream) nextSlow() (int64, bool) {
 
 // failPosition records an out-of-universe decode and exhausts the stream.
 func (s *Stream) failPosition(p int64) bool {
-	s.err = fmt.Errorf("cbitmap: decoded position %d outside universe [0,%d)", p-s.off, s.vmax-s.off)
+	s.err = fmt.Errorf("%w: decoded position %d outside universe [0,%d)", ErrCorrupt, p-s.off, s.vmax-s.off)
 	s.left = 0
 	return false
 }
@@ -183,6 +183,12 @@ func (s *Stream) failPosition(p int64) bool {
 // relative and a constant shift leaves every later gap unchanged.
 func (s *Stream) drainInto(bd *Builder, cur int64) error {
 	if cur != bd.prev {
+		if cur < bd.prev {
+			// A validation-skipping replay view over corrupt bits can hand the
+			// merge a non-increasing head; surface it instead of letting
+			// Builder.Add panic the query.
+			return fmt.Errorf("%w: drain head position %d below %d", ErrCorrupt, cur, bd.prev)
+		}
 		bd.Add(cur)
 	}
 	remaining := s.left
@@ -381,6 +387,12 @@ func runMerge(bd *Builder, n int64, complement bool, heads []mergeHead) error {
 				next = p + 1
 			}
 		} else if p != bd.prev { // dedupe
+			if p < bd.prev {
+				// Only a validation-skipping stream (a replay view over bits
+				// that were corrupted after their validation scan) can regress;
+				// fail typed instead of panicking in Builder.Add.
+				return fmt.Errorf("%w: merge position %d below %d", ErrCorrupt, p, bd.prev)
+			}
 			bd.Add(p)
 		}
 		if np, ok := heads[mi].s.Next(); ok {

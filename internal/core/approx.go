@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -50,7 +51,7 @@ type hashArray struct {
 }
 
 // BuildApprox constructs the Theorem 3 index for col on disk d.
-func BuildApprox(d *iomodel.Disk, col workload.Column, opts ApproxOptions) (*Approx, error) {
+func BuildApprox(d iomodel.Device, col workload.Column, opts ApproxOptions) (*Approx, error) {
 	ox, err := BuildOptimal(d, col, opts.OptimalOptions)
 	if err != nil {
 		return nil, err
@@ -326,8 +327,15 @@ func (ax *Approx) readHashStreams(tc *iomodel.Touch, v *Node, j int, sc *querySc
 // algorithm"). When no hashed level is coarse enough to save I/O, the exact
 // Theorem 2 algorithm runs instead.
 func (ax *Approx) ApproxQuery(r index.Range, eps float64) (*Result, index.QueryStats, error) {
-	var stats index.QueryStats
-	if err := r.Valid(ax.tree.sigma); err != nil {
+	return ax.ApproxQueryContext(context.Background(), r, eps)
+}
+
+// ApproxQueryContext answers like ApproxQuery, checking ctx for cancellation
+// between cover members and populating stats even on an error return
+// (including the session's failed read attempts), so retry layers can
+// account every attempt.
+func (ax *Approx) ApproxQueryContext(ctx context.Context, r index.Range, eps float64) (res *Result, stats index.QueryStats, err error) {
+	if err = r.Valid(ax.tree.sigma); err != nil {
 		return nil, stats, err
 	}
 	if eps <= 0 || eps >= 1 {
@@ -335,6 +343,10 @@ func (ax *Approx) ApproxQuery(r index.Range, eps float64) (*Result, index.QueryS
 	}
 	tc := ax.disk.NewTouch()
 	defer tc.Close()
+	defer func() {
+		stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+		stats.FailedReads = tc.FailedReads()
+	}()
 	aLo, err := tc.ReadBits(ax.aExt.Off+int64(r.Lo)*64, 64)
 	if err != nil {
 		return nil, stats, err
@@ -355,8 +367,9 @@ func (ax *Approx) ApproxQuery(r index.Range, eps float64) (*Result, index.QueryS
 		}
 	}
 	if j == 0 {
-		// "If j > k we cannot save anything": answer exactly.
-		exact, st, err := ax.Query(r)
+		// "If j > k we cannot save anything": answer exactly. The exact path
+		// opens its own session; this one's stats stay plan-phase only.
+		exact, st, err := ax.QueryContext(ctx, r)
 		if err != nil {
 			return nil, st, err
 		}
@@ -368,9 +381,22 @@ func (ax *Approx) ApproxQuery(r index.Range, eps float64) (*Result, index.QueryS
 	// exactly once (cf. Optimal.Query).
 	sc := getScratch()
 	defer sc.release()
-	cover := ax.tree.Cover(qlo, qhi, func(v *Node) { ax.layout.charge(tc, v) })
+	var chargeErr error
+	cover := ax.tree.Cover(qlo, qhi, func(v *Node) {
+		if cerr := ax.layout.charge(tc, v); cerr != nil && chargeErr == nil {
+			chargeErr = cerr
+		}
+	})
+	if chargeErr != nil {
+		return nil, stats, chargeErr
+	}
 	for _, v := range cover {
-		ax.layout.charge(tc, v)
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		if err := ax.layout.charge(tc, v); err != nil {
+			return nil, stats, err
+		}
 		if err := ax.readHashStreams(tc, v, j, sc, &stats); err != nil {
 			return nil, stats, err
 		}
@@ -380,7 +406,6 @@ func (ax *Approx) ApproxQuery(r index.Range, eps float64) (*Result, index.QueryS
 	if err != nil {
 		return nil, stats, err
 	}
-	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	return &Result{N: ax.tree.n, J: j, H: ax.hs[j-1], Set: set}, stats, nil
 }
 

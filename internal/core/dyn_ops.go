@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -546,17 +547,29 @@ func (ax *AppendIndex) rootBufPending(lo, hi uint32, complement bool) (*cbitmap.
 // member bitmap is ever materialised and each gap is decoded exactly once —
 // the same shape the static Optimal.Query runs.
 func (ax *AppendIndex) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
-	var stats index.QueryStats
-	if err := r.Valid(ax.sigma); err != nil {
+	return ax.QueryContext(context.Background(), r)
+}
+
+// QueryContext answers like Query, checking ctx between the cover phases and
+// populating stats (including failed device read attempts) even when it
+// returns an error, so retry layers can account every attempt.
+func (ax *AppendIndex) QueryContext(ctx context.Context, r index.Range) (out *cbitmap.Bitmap, stats index.QueryStats, err error) {
+	if err = r.Valid(ax.sigma); err != nil {
 		return nil, stats, err
 	}
 	tc := ax.disk.NewTouch()
 	defer tc.Close()
+	defer func() {
+		stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+		stats.FailedReads = tc.FailedReads()
+	}()
 	z := ax.Count(r.Lo, r.Hi)
 	complement := z > ax.n/2
 	sc := getScratch()
 	defer sc.release()
-	var err error
+	if err = ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	if complement {
 		if r.Lo > 0 {
 			err = ax.queryCharStreams(tc, 0, r.Lo-1, sc, &stats)
@@ -579,7 +592,9 @@ func (ax *AppendIndex) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, 
 			sc.addBitmapStream(bm, ax.n)
 		}
 	}
-	var out *cbitmap.Bitmap
+	if err = ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	if complement {
 		out, err = cbitmap.MergeStreamsComplement(ax.n, sc.streamPtrs()...)
 	} else {
@@ -588,7 +603,6 @@ func (ax *AppendIndex) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, 
 	if err != nil {
 		return nil, stats, err
 	}
-	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	return out, stats, nil
 }
 
@@ -598,17 +612,19 @@ func (ax *AppendIndex) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, 
 // complemented) in separate passes. It is retained as the differential
 // oracle and allocation baseline the fused pipeline is pinned against;
 // answers and I/O stats are bit-identical to Query's.
-func (ax *AppendIndex) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
-	var stats index.QueryStats
-	if err := r.Valid(ax.sigma); err != nil {
+func (ax *AppendIndex) QueryUnfused(r index.Range) (out *cbitmap.Bitmap, stats index.QueryStats, err error) {
+	if err = r.Valid(ax.sigma); err != nil {
 		return nil, stats, err
 	}
 	tc := ax.disk.NewTouch()
 	defer tc.Close()
+	defer func() {
+		stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+		stats.FailedReads = tc.FailedReads()
+	}()
 	z := ax.Count(r.Lo, r.Hi)
 	complement := z > ax.n/2
 	var ms []*cbitmap.Bitmap
-	var err error
 	if complement {
 		if r.Lo > 0 {
 			ms, err = ax.queryChars(tc, 0, r.Lo-1, ms, &stats)
@@ -632,14 +648,13 @@ func (ax *AppendIndex) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.Query
 			ms = append(ms, bm)
 		}
 	}
-	out, err := cbitmap.UnionOver(ax.n, ms...)
+	out, err = cbitmap.UnionOver(ax.n, ms...)
 	if err != nil {
 		return nil, stats, err
 	}
 	if complement {
 		out = out.Complement()
 	}
-	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	return out, stats, nil
 }
 

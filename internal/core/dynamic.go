@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -26,7 +27,7 @@ import (
 // queries per materialised level. Deletions use the paper's ∞-character
 // trick: the alphabet is extended by one never-queried character.
 type Dynamic struct {
-	disk *iomodel.Disk
+	disk iomodel.Device
 	opts DynamicOptions
 
 	sigma    int // user-visible alphabet
@@ -81,7 +82,7 @@ type dynBin struct {
 }
 
 // BuildDynamic constructs the Theorem 7 index over col.
-func BuildDynamic(d *iomodel.Disk, col workload.Column, opts DynamicOptions) (*Dynamic, error) {
+func BuildDynamic(d iomodel.Device, col workload.Column, opts DynamicOptions) (*Dynamic, error) {
 	opts.fill()
 	if opts.Branching <= 4 {
 		return nil, fmt.Errorf("core: branching parameter %d must exceed 4", opts.Branching)
@@ -395,10 +396,10 @@ func (dx *Dynamic) queryCharStreams(lo, hi uint32, sc *queryScratch, stats *inde
 		}
 		for k := i; k < j; k++ {
 			bm, st, err := dx.points[li].PointQuery(uint32(k))
+			stats.Add(st) // even on error: failed attempts stay accounted
 			if err != nil {
 				return err
 			}
-			stats.Add(st)
 			sc.addBitmapStream(bm, dx.n)
 		}
 	}
@@ -419,10 +420,10 @@ func (dx *Dynamic) queryChars(lo, hi uint32, ms []*cbitmap.Bitmap, stats *index.
 		}
 		for k := i; k < j; k++ {
 			bm, st, err := dx.points[li].PointQuery(uint32(k))
+			stats.Add(st) // even on error: failed attempts stay accounted
 			if err != nil {
 				return ms, err
 			}
-			stats.Add(st)
 			// Re-base onto the current universe.
 			reb, err := cbitmap.FromPositions(dx.n, bm.Positions())
 			if err != nil {
@@ -439,8 +440,14 @@ func (dx *Dynamic) queryChars(lo, hi uint32, ms []*cbitmap.Bitmap, stats *index.
 // The point-query results stream into a single fused merge (complemented in
 // the same pass on the dense path), mirroring the static pipeline.
 func (dx *Dynamic) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
-	var stats index.QueryStats
-	if err := r.Valid(dx.sigma); err != nil {
+	return dx.QueryContext(context.Background(), r)
+}
+
+// QueryContext answers like Query, checking ctx between the cover phases.
+// Stats accumulate across every point query attempted, including ones that
+// failed on a faulty device, so retry layers can account every attempt.
+func (dx *Dynamic) QueryContext(ctx context.Context, r index.Range) (out *cbitmap.Bitmap, stats index.QueryStats, err error) {
+	if err = r.Valid(dx.sigma); err != nil {
 		return nil, stats, err
 	}
 	var z int64
@@ -449,7 +456,9 @@ func (dx *Dynamic) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, erro
 	}
 	sc := getScratch()
 	defer sc.release()
-	var err error
+	if err = ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	complement := z > dx.n/2
 	if complement {
 		if r.Lo > 0 {
@@ -465,7 +474,9 @@ func (dx *Dynamic) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, erro
 	if err != nil {
 		return nil, stats, err
 	}
-	var out *cbitmap.Bitmap
+	if err = ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	if complement {
 		out, err = cbitmap.MergeStreamsComplement(dx.n, sc.streamPtrs()...)
 	} else {

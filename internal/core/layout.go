@@ -20,13 +20,13 @@ const nodeRecordBits = 128
 // the block holding its record; query traversals charge a read of each
 // distinct structure block they visit.
 type treeLayout struct {
-	disk    *iomodel.Disk
+	disk    iomodel.Device
 	blockOf []iomodel.BlockID
 	nblocks int
 }
 
 // newTreeLayout writes the structure of t to d and returns the layout.
-func newTreeLayout(d *iomodel.Disk, t *Tree) *treeLayout {
+func newTreeLayout(d iomodel.Device, t *Tree) *treeLayout {
 	l := &treeLayout{disk: d, blockOf: make([]iomodel.BlockID, len(t.Nodes))}
 	cap := d.BlockBits() / nodeRecordBits
 	if cap < 1 {
@@ -78,9 +78,12 @@ type ioSession interface {
 	ReadBits(pos int64, n int) (uint64, error)
 }
 
-// charge marks the structure block holding v as read in the session.
-func (l *treeLayout) charge(tc ioSession, v *Node) {
+// charge marks the structure block holding v as read in the session. The
+// read can fail on a fault-injecting device; callers propagate the error so
+// a failed structure-block read aborts (and can retry) the query.
+func (l *treeLayout) charge(tc ioSession, v *Node) error {
 	blk := l.blockOf[v.ID]
 	// Touch one bit of the block; the session dedupes repeated touches.
-	_, _ = tc.ReadBits(l.disk.BlockOff(blk), 1)
+	_, err := tc.ReadBits(l.disk.BlockOff(blk), 1)
+	return err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -75,7 +76,7 @@ func (lv *matLevel) chunk(lo, hi int64) (int, int, error) {
 // O(nH₀ + n + σ lg²n) bits; a query reads O(z lg(n/z)/B + lg_b n + lg lg n)
 // blocks.
 type Optimal struct {
-	disk   *iomodel.Disk
+	disk   iomodel.Device
 	tree   *Tree
 	layout *treeLayout
 	opts   OptimalOptions
@@ -89,7 +90,7 @@ type Optimal struct {
 }
 
 // BuildOptimal constructs the Theorem 2 index for col on disk d.
-func BuildOptimal(d *iomodel.Disk, col workload.Column, opts OptimalOptions) (*Optimal, error) {
+func BuildOptimal(d iomodel.Device, col workload.Column, opts OptimalOptions) (*Optimal, error) {
 	opts.fill()
 	tr, err := BuildTree(col, opts.Branching)
 	if err != nil {
@@ -269,14 +270,28 @@ func (ox *Optimal) readCoverStreams(tc *iomodel.Touch, v *Node, sc *queryScratch
 }
 
 // queryStreams collects the streams answering a record-range query: one per
-// member of the range's canonical cover frontier.
-func (ox *Optimal) queryStreams(tc *iomodel.Touch, qlo, qhi int64, sc *queryScratch, stats *index.QueryStats) error {
+// member of the range's canonical cover frontier. ctx is checked between
+// cover members, the cancellation granularity of a single query.
+func (ox *Optimal) queryStreams(ctx context.Context, tc *iomodel.Touch, qlo, qhi int64, sc *queryScratch, stats *index.QueryStats) error {
 	if qlo >= qhi {
 		return nil
 	}
-	cover := ox.tree.Cover(qlo, qhi, func(v *Node) { ox.layout.charge(tc, v) })
+	var chargeErr error
+	cover := ox.tree.Cover(qlo, qhi, func(v *Node) {
+		if err := ox.layout.charge(tc, v); err != nil && chargeErr == nil {
+			chargeErr = err
+		}
+	})
+	if chargeErr != nil {
+		return chargeErr
+	}
 	for _, v := range cover {
-		ox.layout.charge(tc, v)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := ox.layout.charge(tc, v); err != nil {
+			return err
+		}
 		if err := ox.readCoverStreams(tc, v, sc, stats); err != nil {
 			return err
 		}
@@ -292,12 +307,23 @@ func (ox *Optimal) queryStreams(tc *iomodel.Touch, qlo, qhi int64, sc *queryScra
 // intermediate per-chunk bitmap is ever materialised and every bit read is
 // decoded exactly once.
 func (ox *Optimal) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
-	var stats index.QueryStats
-	if err := r.Valid(ox.tree.sigma); err != nil {
+	return ox.QueryContext(context.Background(), r)
+}
+
+// QueryContext answers like Query, checking ctx for cancellation between
+// cover members and before the final merge. The stats are populated even on
+// an error return (including the session's failed read attempts), so retry
+// layers can account every attempt they make.
+func (ox *Optimal) QueryContext(ctx context.Context, r index.Range) (out *cbitmap.Bitmap, stats index.QueryStats, err error) {
+	if err = r.Valid(ox.tree.sigma); err != nil {
 		return nil, stats, err
 	}
 	tc := ox.disk.NewTouch()
 	defer tc.Close()
+	defer func() {
+		stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+		stats.FailedReads = tc.FailedReads()
+	}()
 	// Read A[lo] and A[hi+1] to compute z (O(1) I/Os).
 	aLo, err := tc.ReadBits(ox.aExt.Off+int64(r.Lo)*64, 64)
 	if err != nil {
@@ -317,17 +343,19 @@ func (ox *Optimal) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, erro
 	if complement {
 		// Answer the two complementary queries and return the complement of
 		// their union (§2.1), fused into the same merge pass.
-		err = ox.queryStreams(tc, 0, qlo, sc, &stats)
+		err = ox.queryStreams(ctx, tc, 0, qlo, sc, &stats)
 		if err == nil {
-			err = ox.queryStreams(tc, qhi, n, sc, &stats)
+			err = ox.queryStreams(ctx, tc, qhi, n, sc, &stats)
 		}
 	} else {
-		err = ox.queryStreams(tc, qlo, qhi, sc, &stats)
+		err = ox.queryStreams(ctx, tc, qlo, qhi, sc, &stats)
+	}
+	if err == nil {
+		err = ctx.Err() // checkpoint before the merge materialises the answer
 	}
 	if err != nil {
 		return nil, stats, err
 	}
-	var out *cbitmap.Bitmap
 	if complement {
 		out, err = cbitmap.MergeStreamsComplement(n, sc.streamPtrs()...)
 	} else {
@@ -336,7 +364,6 @@ func (ox *Optimal) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, erro
 	if err != nil {
 		return nil, stats, err
 	}
-	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	return out, stats, nil
 }
 
@@ -374,9 +401,19 @@ func (ox *Optimal) queryRecords(tc *iomodel.Touch, qlo, qhi int64, ms []*cbitmap
 	if qlo >= qhi {
 		return ms, nil
 	}
-	cover := ox.tree.Cover(qlo, qhi, func(v *Node) { ox.layout.charge(tc, v) })
+	var chargeErr error
+	cover := ox.tree.Cover(qlo, qhi, func(v *Node) {
+		if err := ox.layout.charge(tc, v); err != nil && chargeErr == nil {
+			chargeErr = err
+		}
+	})
+	if chargeErr != nil {
+		return ms, chargeErr
+	}
 	for _, v := range cover {
-		ox.layout.charge(tc, v)
+		if err := ox.layout.charge(tc, v); err != nil {
+			return ms, err
+		}
 		var err error
 		ms, err = ox.readCoverChunk(tc, v, ms, stats)
 		if err != nil {
@@ -392,13 +429,16 @@ func (ox *Optimal) queryRecords(tc *iomodel.Touch, qlo, qhi int64, ms []*cbitmap
 // pass. It is retained as the differential-testing oracle and the allocation
 // baseline the fused pipeline is measured against; answers are bit-identical
 // to Query's.
-func (ox *Optimal) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
-	var stats index.QueryStats
-	if err := r.Valid(ox.tree.sigma); err != nil {
+func (ox *Optimal) QueryUnfused(r index.Range) (out *cbitmap.Bitmap, stats index.QueryStats, err error) {
+	if err = r.Valid(ox.tree.sigma); err != nil {
 		return nil, stats, err
 	}
 	tc := ox.disk.NewTouch()
 	defer tc.Close()
+	defer func() {
+		stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+		stats.FailedReads = tc.FailedReads()
+	}()
 	aLo, err := tc.ReadBits(ox.aExt.Off+int64(r.Lo)*64, 64)
 	if err != nil {
 		return nil, stats, err
@@ -424,21 +464,20 @@ func (ox *Optimal) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.QueryStat
 	if err != nil {
 		return nil, stats, err
 	}
-	out, err := cbitmap.UnionOver(n, ms...)
+	out, err = cbitmap.UnionOver(n, ms...)
 	if err != nil {
 		return nil, stats, err
 	}
 	if complement {
 		out = out.Complement()
 	}
-	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	return out, stats, nil
 }
 
 var _ index.Index = (*Optimal)(nil)
 
 // BuildOptimalDefault is a convenience wrapper with default options.
-func BuildOptimalDefault(d *iomodel.Disk, col workload.Column) (*Optimal, error) {
+func BuildOptimalDefault(d iomodel.Device, col workload.Column) (*Optimal, error) {
 	return BuildOptimal(d, col, OptimalOptions{})
 }
 

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -51,18 +52,19 @@ type QueryPlan struct {
 // are the plan-phase block reads. Executing the plan is then purely a matter
 // of reading the chunk extents, which is what lets a batch coalesce the
 // extents of many plans and read each one once.
-func (ox *Optimal) PlanQuery(r index.Range) (QueryPlan, index.QueryStats, error) {
-	var stats index.QueryStats
+func (ox *Optimal) PlanQuery(r index.Range) (plan QueryPlan, stats index.QueryStats, err error) {
 	if err := r.Valid(ox.tree.sigma); err != nil {
 		return QueryPlan{}, stats, err
 	}
 	tc := ox.disk.NewTouch()
 	defer tc.Close()
-	var plan QueryPlan
+	defer func() {
+		stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+		stats.FailedReads = tc.FailedReads()
+	}()
 	if err := ox.planInto(tc, r, &plan); err != nil {
 		return QueryPlan{}, stats, err
 	}
-	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	return plan, stats, nil
 }
 
@@ -101,14 +103,24 @@ func (ox *Optimal) coverChunks(ses ioSession, qlo, qhi int64, plan *QueryPlan) e
 		return nil
 	}
 	cp := coverScratchPool.Get().(*[]*Node)
-	cover := ox.tree.CoverAppend((*cp)[:0], qlo, qhi, func(v *Node) { ox.layout.charge(ses, v) })
+	var chargeErr error
+	cover := ox.tree.CoverAppend((*cp)[:0], qlo, qhi, func(v *Node) {
+		if err := ox.layout.charge(ses, v); err != nil && chargeErr == nil {
+			chargeErr = err
+		}
+	})
 	defer func() {
 		clear(cover)
 		*cp = cover[:0]
 		coverScratchPool.Put(cp)
 	}()
+	if chargeErr != nil {
+		return chargeErr
+	}
 	for _, v := range cover {
-		ox.layout.charge(ses, v)
+		if err := ox.layout.charge(ses, v); err != nil {
+			return err
+		}
 		li := ox.levelFor(v.Depth)
 		i, j, err := ox.levels[li].chunk(v.Start, v.End)
 		if err != nil {
@@ -252,13 +264,21 @@ func (bs *batchScratch) streamPtrs() []*cbitmap.Stream {
 // Reads + SharedSaved is the cost the same batch would have paid through
 // looped Query calls on a cache-less device.
 func (ox *Optimal) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
-	var stats index.QueryStats
+	return ox.QueryBatchContext(context.Background(), rs)
+}
+
+// QueryBatchContext answers like QueryBatch, checking ctx for cancellation
+// between planned queries, between coalesced extent scans, and between
+// per-query merges — the three loops a wide batch spends its time in. The
+// stats are populated even on an error return (including the batch session's
+// failed read attempts), so retry layers can account every attempt.
+func (ox *Optimal) QueryBatchContext(ctx context.Context, rs []index.Range) (out []*cbitmap.Bitmap, stats index.QueryStats, err error) {
 	for _, r := range rs {
 		if err := r.Valid(ox.tree.sigma); err != nil {
 			return nil, stats, err
 		}
 	}
-	out := make([]*cbitmap.Bitmap, len(rs))
+	out = make([]*cbitmap.Bitmap, len(rs))
 	if len(rs) == 0 {
 		return out, stats, nil
 	}
@@ -273,7 +293,7 @@ func (ox *Optimal) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryS
 	if len(order) == 1 {
 		// A batch with one distinct range has nothing to share; the
 		// single-query fused pipeline answers it without planner bookkeeping.
-		bm, st, err := ox.Query(order[0])
+		bm, st, err := ox.QueryContext(ctx, order[0])
 		if err != nil {
 			return nil, st, err
 		}
@@ -285,6 +305,11 @@ func (ox *Optimal) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryS
 	n := ox.tree.n
 	bt := ox.disk.NewBatchTouch()
 	defer bt.Close()
+	defer func() {
+		stats.Reads, stats.Writes = bt.Reads(), bt.Writes()
+		stats.SharedSaved = bt.SharedSaved()
+		stats.FailedReads = bt.FailedReads()
+	}()
 	bs := getBatchScratch()
 	defer bs.release()
 
@@ -292,6 +317,9 @@ func (ox *Optimal) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryS
 	// descent, attributed to the query so the sharing accounting is exact.
 	plans := bs.growPlans(len(order))
 	for qi, r := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		bt.StartConsumer(qi)
 		if err := ox.planInto(bt, r, &plans[qi]); err != nil {
 			return nil, stats, err
@@ -348,6 +376,9 @@ func (ox *Optimal) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryS
 			run.subs[rq.j-run.i]--
 		}
 		for ri := range runs[li] {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
 			run := &runs[li][ri]
 			run.span = iomodel.Extent{
 				Off:  lv.members[run.i].ext.Off,
@@ -397,6 +428,9 @@ func (ox *Optimal) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryS
 	// the shared extent buffer, and merges them exactly as Query would.
 	answers := make([]*cbitmap.Bitmap, len(order))
 	for qi := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		bt.StartConsumer(qi)
 		bs.streams = bs.streams[:0]
 		for _, c := range plans[qi].Chunks {
@@ -435,8 +469,6 @@ func (ox *Optimal) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryS
 		}
 		answers[qi] = bm
 	}
-	stats.Reads, stats.Writes = bt.Reads(), bt.Writes()
-	stats.SharedSaved = bt.SharedSaved()
 	for i, r := range rs {
 		out[i] = answers[uniq[r]]
 	}

@@ -22,7 +22,7 @@ import (
 // updates. The root buffer is "always kept in the internal memory". Point
 // queries run in O(T/B + lg n) I/Os; updates cost amortised O(lg n / b).
 type PointIndex struct {
-	disk   *iomodel.Disk
+	disk   iomodel.Device
 	sigma  int
 	c      int
 	root   *pnode
@@ -83,7 +83,7 @@ const pointLeafHeaderBits = 32
 
 // NewPointIndex returns an empty index over alphabet [0,sigma) with
 // branching parameter c >= 2.
-func NewPointIndex(d *iomodel.Disk, sigma, c int) (*PointIndex, error) {
+func NewPointIndex(d iomodel.Device, sigma, c int) (*PointIndex, error) {
 	if c < 2 {
 		return nil, fmt.Errorf("core: point index branching %d must be >= 2", c)
 	}
@@ -105,7 +105,7 @@ func NewPointIndex(d *iomodel.Disk, sigma, c int) (*PointIndex, error) {
 }
 
 // BuildPointIndex bulk-loads the index from a column.
-func BuildPointIndex(d *iomodel.Disk, col workload.Column, c int) (*PointIndex, error) {
+func BuildPointIndex(d iomodel.Device, col workload.Column, c int) (*PointIndex, error) {
 	px, err := NewPointIndex(d, col.Sigma, c)
 	if err != nil {
 		return nil, err
@@ -572,12 +572,16 @@ func (px *PointIndex) maybeSplit(nd *pnode) error {
 // PointQuery returns the (compressed) position set of character ch,
 // reflecting all buffered updates. Cost is O(T/B + lg n) I/Os: the buffers
 // on the root-to-leaf paths for ch plus the leaf blocks of ch.
-func (px *PointIndex) PointQuery(ch uint32) (*cbitmap.Bitmap, index.QueryStats, error) {
-	var stats index.QueryStats
+func (px *PointIndex) PointQuery(ch uint32) (bm *cbitmap.Bitmap, stats index.QueryStats, err error) {
 	if int(ch) >= px.sigma {
 		return nil, stats, fmt.Errorf("core: character %d outside alphabet [0,%d)", ch, px.sigma)
 	}
 	tc := px.disk.NewTouch()
+	defer tc.Close()
+	defer func() {
+		stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+		stats.FailedReads = tc.FailedReads()
+	}()
 	set := make(map[int64]struct{})
 	// Collect updates ordered by seq across all buffers on the paths, and
 	// the leaf contents.
@@ -638,11 +642,10 @@ func (px *PointIndex) PointQuery(ch uint32) (*cbitmap.Bitmap, index.QueryStats, 
 	}
 	slices.Sort(pos)
 	var maxPos int64 = 1 << 47
-	bm, err := cbitmap.FromPositions(maxPos, pos)
+	bm, err = cbitmap.FromPositions(maxPos, pos)
 	if err != nil {
 		return nil, stats, err
 	}
-	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	stats.BitsRead = int64(bm.SizeBits())
 	return bm, stats, nil
 }

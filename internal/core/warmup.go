@@ -18,7 +18,7 @@ import (
 // a range query merges the O(lg σ) canonical subtrees in
 // O(T/B + lg σ) I/Os.
 type Warmup struct {
-	disk   *iomodel.Disk
+	disk   iomodel.Device
 	n      int64
 	sigma  int
 	padded int // σ rounded up to a power of two
@@ -42,7 +42,7 @@ type WarmupOptions struct {
 }
 
 // BuildWarmup constructs the Theorem 1 index for col on disk d.
-func BuildWarmup(d *iomodel.Disk, col workload.Column, opts WarmupOptions) (*Warmup, error) {
+func BuildWarmup(d iomodel.Device, col workload.Column, opts WarmupOptions) (*Warmup, error) {
 	n := int64(col.Len())
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty column")
@@ -218,13 +218,16 @@ func (wx *Warmup) queryChars(tc *iomodel.Touch, lo, hi int64, ms []*cbitmap.Bitm
 // Query implements index.Index. The cover's gap streams feed a single fused
 // decode-merge pass (complemented in the same pass on the dense path), the
 // same shape as Optimal.Query.
-func (wx *Warmup) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
-	var stats index.QueryStats
-	if err := r.Valid(wx.sigma); err != nil {
+func (wx *Warmup) Query(r index.Range) (out *cbitmap.Bitmap, stats index.QueryStats, err error) {
+	if err = r.Valid(wx.sigma); err != nil {
 		return nil, stats, err
 	}
 	tc := wx.disk.NewTouch()
 	defer tc.Close()
+	defer func() {
+		stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+		stats.FailedReads = tc.FailedReads()
+	}()
 	aLo, err := tc.ReadBits(wx.aExt.Off+int64(r.Lo)*64, 64)
 	if err != nil {
 		return nil, stats, err
@@ -251,7 +254,6 @@ func (wx *Warmup) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error
 	if err != nil {
 		return nil, stats, err
 	}
-	var out *cbitmap.Bitmap
 	if complement {
 		out, err = cbitmap.MergeStreamsComplement(wx.n, sc.streamPtrs()...)
 	} else {
@@ -260,20 +262,22 @@ func (wx *Warmup) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error
 	if err != nil {
 		return nil, stats, err
 	}
-	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	return out, stats, nil
 }
 
 // QueryUnfused answers exactly like Query but through the pre-streaming
 // decode-then-union shape, retained as the differential oracle and
 // allocation baseline; answers and I/O stats are bit-identical to Query's.
-func (wx *Warmup) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
-	var stats index.QueryStats
-	if err := r.Valid(wx.sigma); err != nil {
+func (wx *Warmup) QueryUnfused(r index.Range) (out *cbitmap.Bitmap, stats index.QueryStats, err error) {
+	if err = r.Valid(wx.sigma); err != nil {
 		return nil, stats, err
 	}
 	tc := wx.disk.NewTouch()
 	defer tc.Close()
+	defer func() {
+		stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
+		stats.FailedReads = tc.FailedReads()
+	}()
 	aLo, err := tc.ReadBits(wx.aExt.Off+int64(r.Lo)*64, 64)
 	if err != nil {
 		return nil, stats, err
@@ -299,14 +303,13 @@ func (wx *Warmup) QueryUnfused(r index.Range) (*cbitmap.Bitmap, index.QueryStats
 	if err != nil {
 		return nil, stats, err
 	}
-	out, err := cbitmap.UnionOver(wx.n, ms...)
+	out, err = cbitmap.UnionOver(wx.n, ms...)
 	if err != nil {
 		return nil, stats, err
 	}
 	if complement {
 		out = out.Complement()
 	}
-	stats.Reads, stats.Writes = tc.Reads(), tc.Writes()
 	return out, stats, nil
 }
 

@@ -30,6 +30,15 @@ type QueryStats struct {
 	// sum over the batch's queries of their distinct blocks, minus the
 	// distinct blocks of the whole batch. Zero for single queries.
 	SharedSaved int
+	// FailedReads counts device read attempts that failed during the
+	// operation, across every attempt it made. Always zero on an infallible
+	// device; under fault injection it includes attempts whose failure was
+	// recovered by a retry.
+	FailedReads int
+	// RetriedReads counts whole-operation retry attempts performed after a
+	// transient read failure (the per-shard bounded-retry layer increments
+	// it once per re-issued attempt).
+	RetriedReads int
 }
 
 // Add accumulates other into s.
@@ -38,6 +47,8 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.Writes += other.Writes
 	s.BitsRead += other.BitsRead
 	s.SharedSaved += other.SharedSaved
+	s.FailedReads += other.FailedReads
+	s.RetriedReads += other.RetriedReads
 }
 
 // Range is an alphabet range query [Lo,Hi] (inclusive, as in the paper).

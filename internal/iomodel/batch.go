@@ -120,6 +120,10 @@ func (bt *BatchTouch) SharedSaved() int {
 	return int(bt.perConsumer) - len(bt.noted)
 }
 
+// FailedReads returns the session's failed device read attempts (always 0 on
+// a plain Disk).
+func (bt *BatchTouch) FailedReads() int { return bt.t.FailedReads() }
+
 // batchPoolMaxBlocks bounds the sessions returned to the pool, mirroring
 // touchPoolMaxBlocks: a huge batch leaves maps whose buckets never shrink,
 // so oversized sessions are dropped for the garbage collector. Every

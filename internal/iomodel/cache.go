@@ -93,6 +93,23 @@ func (c *blockCache) touch(id BlockID) (hit bool) {
 	return false
 }
 
+// peek reports whether block id is resident, promoting it if so, WITHOUT
+// inserting on a miss. The fault-aware read path uses it so a read that is
+// about to fail never gains residency: first consult residency (a resident
+// block needs no device read, hence no fault), then the fault schedule, and
+// only a successful device read inserts (via note).
+func (c *blockCache) peek(id BlockID) bool {
+	s := c.stripe(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.m[id]; ok {
+		s.unlink(n)
+		s.pushFront(n)
+		return true
+	}
+	return false
+}
+
 // insert adds id as the stripe's most recent block, evicting if needed.
 // Caller holds the stripe's mutex.
 func (s *cacheStripe) insert(id BlockID) {

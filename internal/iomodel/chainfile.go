@@ -11,13 +11,13 @@ import (
 // append touches only the tail block, while a full scan costs one I/O per
 // chained block — the access pattern the paper's amortised analyses assume.
 type ChainFile struct {
-	d      *Disk
+	d      Device
 	blocks []BlockID
 	bits   int64 // logical length in bits
 }
 
 // NewChainFile returns an empty chained file on d.
-func NewChainFile(d *Disk) *ChainFile {
+func NewChainFile(d Device) *ChainFile {
 	return &ChainFile{d: d}
 }
 
@@ -31,7 +31,7 @@ func (f *ChainFile) Blocks() int { return len(f.blocks) }
 // tail block and any newly allocated blocks.
 func (f *ChainFile) Append(t *Touch, w *bitio.Writer) error {
 	r := bitio.NewReader(w.Bytes(), w.Len())
-	bb := int64(f.d.cfg.BlockBits)
+	bb := int64(f.d.BlockBits())
 	for r.Remaining() > 0 {
 		inBlock := f.bits % bb
 		if inBlock == 0 && f.bits == int64(len(f.blocks))*bb {
@@ -78,7 +78,7 @@ func (f *ChainFile) ReadAll(t *Touch) (*bitio.Reader, error) {
 func (f *ChainFile) ReadAllInto(t *Touch, w *bitio.Writer) error {
 	w.Reset()
 	w.Grow(int(f.bits))
-	bb := int64(f.d.cfg.BlockBits)
+	bb := int64(f.d.BlockBits())
 	rem := f.bits
 	for i := 0; rem > 0; i++ {
 		take := rem

@@ -1,0 +1,251 @@
+package iomodel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault-injecting device. A FaultDisk wraps a Disk and makes its *read path*
+// fallible according to a deterministic, seeded schedule: transient read
+// errors that heal after a bounded number of attempts, permanent per-block
+// failures, silent single-bit corruption of the data returned, and injected
+// per-read latency. Writes and allocation are never faulted — the fault
+// model targets query execution, which is where retries, cancellation and
+// degraded modes live; the write path's invariants stay intact.
+//
+// Every fault decision is a pure function of (Seed, BlockID) plus a per-block
+// read counter, so a fault schedule is reproducible across runs and — because
+// it does not depend on the interleaving of concurrent sessions — across
+// worker-pool schedules. A transient block fails its first TransientCount
+// charged reads and then heals, which gives bounded retries a convergence
+// guarantee: any retry budget larger than the faulty blocks a query touches
+// reaches the fault-free answer, the property the chaos differential harness
+// pins.
+
+// ErrTransientRead reports an injected transient read fault: retrying the
+// read (a fresh session over the same blocks) will eventually succeed.
+var ErrTransientRead = errors.New("iomodel: transient read fault")
+
+// ErrPermanentRead reports an injected permanent block failure: every read
+// of the block fails, so retries cannot help and the caller must degrade
+// (exclude the device) or fail the operation.
+var ErrPermanentRead = errors.New("iomodel: permanent block failure")
+
+// FaultConfig describes a seeded fault schedule. Probabilities are drawn
+// once per block from the seed, in parts per ten thousand, so the same
+// configuration over the same device always faults the same blocks.
+type FaultConfig struct {
+	// Seed determines which blocks fault and which bits corruption flips.
+	Seed int64
+	// TransientPer10k is the per-block probability (in 1/10000) that a block
+	// is transiently faulty: its first TransientCount charged reads fail with
+	// ErrTransientRead, after which the block heals and reads succeed.
+	TransientPer10k int
+	// TransientCount is how many reads of a transiently faulty block fail
+	// before it heals (default 1).
+	TransientCount int
+	// PermanentPer10k is the per-block probability (in 1/10000) that a block
+	// is dead: every read fails with ErrPermanentRead.
+	PermanentPer10k int
+	// CorruptPer10k is the per-block probability (in 1/10000) that a block is
+	// a silent corruptor: every read covering it has one deterministic bit of
+	// the returned data flipped. The device reports no error — corruption is
+	// caught (or not) by the decode-validation layer above.
+	CorruptPer10k int
+	// ReadLatency is slept once per charged device read while armed,
+	// simulating device service time.
+	ReadLatency time.Duration
+}
+
+// Validate reports whether the configuration is well-formed.
+func (fc FaultConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"TransientPer10k", fc.TransientPer10k},
+		{"PermanentPer10k", fc.PermanentPer10k},
+		{"CorruptPer10k", fc.CorruptPer10k},
+	} {
+		if p.v < 0 || p.v > 10000 {
+			return fmt.Errorf("iomodel: %s %d outside [0,10000]", p.name, p.v)
+		}
+	}
+	if fc.TransientCount < 0 {
+		return fmt.Errorf("iomodel: TransientCount %d must not be negative", fc.TransientCount)
+	}
+	if fc.ReadLatency < 0 {
+		return fmt.Errorf("iomodel: ReadLatency %v must not be negative", fc.ReadLatency)
+	}
+	return nil
+}
+
+func (fc FaultConfig) transientCount() int32 {
+	if fc.TransientCount == 0 {
+		return 1
+	}
+	return int32(fc.TransientCount)
+}
+
+// blockFault is the decided fate of one block plus its remaining transient
+// failure budget.
+type blockFault struct {
+	transLeft int32
+	permanent bool
+	corrupt   bool
+}
+
+// faultSched executes a FaultConfig. It is shared by every session the
+// owning FaultDisk hands out; the per-block state is mutex-protected so
+// concurrent queries draw a consistent schedule.
+type faultSched struct {
+	cfg    FaultConfig
+	armed  atomic.Bool
+	mu     sync.Mutex
+	blocks map[BlockID]*blockFault
+}
+
+func newFaultSched(cfg FaultConfig) *faultSched {
+	return &faultSched{cfg: cfg, blocks: make(map[BlockID]*blockFault)}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash for
+// deterministic per-block draws.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const (
+	saltTransient uint64 = 0x7472616e7369656e // "transien"
+	saltPermanent uint64 = 0x7065726d616e656e // "permanen"
+	saltCorrupt   uint64 = 0x636f727275707462 // "corruptb"
+	saltBit       uint64 = 0x666c697062697421 // "flipbit!"
+)
+
+func (f *faultSched) draw(b BlockID, salt uint64) uint64 {
+	return mix64(uint64(f.cfg.Seed) ^ mix64(uint64(b)^salt))
+}
+
+func (f *faultSched) hits(b BlockID, salt uint64, per10k int) bool {
+	return per10k > 0 && f.draw(b, salt)%10000 < uint64(per10k)
+}
+
+// stateOf decides (once) and returns block b's fate. Caller holds f.mu.
+func (f *faultSched) stateOf(b BlockID) *blockFault {
+	if st, ok := f.blocks[b]; ok {
+		return st
+	}
+	st := &blockFault{}
+	switch {
+	case f.hits(b, saltPermanent, f.cfg.PermanentPer10k):
+		st.permanent = true
+	case f.hits(b, saltTransient, f.cfg.TransientPer10k):
+		st.transLeft = f.cfg.transientCount()
+	}
+	st.corrupt = f.hits(b, saltCorrupt, f.cfg.CorruptPer10k)
+	f.blocks[b] = st
+	return st
+}
+
+// onRead is consulted once per charged device read of block b. It returns
+// whether the read's data must be silently corrupted, or the injected error.
+func (f *faultSched) onRead(b BlockID, stats *Stats) (corrupt bool, err error) {
+	if f == nil || !f.armed.Load() {
+		return false, nil
+	}
+	if f.cfg.ReadLatency > 0 {
+		time.Sleep(f.cfg.ReadLatency)
+	}
+	f.mu.Lock()
+	st := f.stateOf(b)
+	switch {
+	case st.permanent:
+		f.mu.Unlock()
+		stats.FailedReads.Add(1)
+		return false, fmt.Errorf("iomodel: block %d: %w", b, ErrPermanentRead)
+	case st.transLeft > 0:
+		st.transLeft--
+		f.mu.Unlock()
+		stats.FailedReads.Add(1)
+		return false, fmt.Errorf("iomodel: block %d: %w", b, ErrTransientRead)
+	}
+	corrupt = st.corrupt
+	f.mu.Unlock()
+	return corrupt, nil
+}
+
+// corruptBit returns the deterministic bit offset (within a span of width
+// bits) that reads covering corrupt block b flip.
+func (f *faultSched) corruptBit(b BlockID, width int64) int64 {
+	if width <= 0 {
+		return 0
+	}
+	return int64(f.draw(b, saltBit) % uint64(width))
+}
+
+// FaultDisk is a Disk whose read sessions fault according to a seeded
+// schedule. It implements Device; builds and writes pass through unfaulted,
+// and the schedule only fires while armed, so the usual pattern is to build
+// on a disarmed FaultDisk and Arm it before querying.
+type FaultDisk struct {
+	*Disk
+	sched *faultSched
+}
+
+// NewFaultDiskChecked returns a FaultDisk over a fresh Disk with the given
+// configurations, or an error if either is invalid. The schedule starts
+// disarmed.
+func NewFaultDiskChecked(cfg Config, fc FaultConfig) (*FaultDisk, error) {
+	d, err := NewDiskChecked(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := fc.Validate(); err != nil {
+		return nil, err
+	}
+	return &FaultDisk{Disk: d, sched: newFaultSched(fc)}, nil
+}
+
+// NewFaultDisk is NewFaultDiskChecked for known-good configurations (tests,
+// benchmarks); it panics on an invalid one.
+func NewFaultDisk(cfg Config, fc FaultConfig) *FaultDisk {
+	fd, err := NewFaultDiskChecked(cfg, fc)
+	if err != nil {
+		panic(err)
+	}
+	return fd
+}
+
+// Arm enables the fault schedule for subsequently opened sessions and reads.
+func (fd *FaultDisk) Arm() { fd.sched.armed.Store(true) }
+
+// Disarm disables the fault schedule; in-flight reads finish with whatever
+// verdict they already drew.
+func (fd *FaultDisk) Disarm() { fd.sched.armed.Store(false) }
+
+// Armed reports whether the fault schedule is active.
+func (fd *FaultDisk) Armed() bool { return fd.sched.armed.Load() }
+
+// NewTouch opens an accounting session whose reads consult the fault
+// schedule.
+func (fd *FaultDisk) NewTouch() *Touch {
+	t := fd.Disk.NewTouch()
+	t.faults = fd.sched
+	return t
+}
+
+// NewBatchTouch opens a shared-scan batch session whose reads consult the
+// fault schedule.
+func (fd *FaultDisk) NewBatchTouch() *BatchTouch {
+	bt := fd.Disk.NewBatchTouch()
+	bt.t.faults = fd.sched
+	return bt
+}
+
+var _ Device = (*FaultDisk)(nil)

@@ -60,6 +60,10 @@ type Stats struct {
 	// read (and charged) only once. Unlike CacheHits it measures sharing
 	// within one batch, not residency across operations.
 	SharedSaved atomic.Int64
+	// FailedReads counts device read attempts that failed (only a fault-
+	// injecting device fails reads; a plain Disk never increments this).
+	// Failed attempts are not counted in BlockReads.
+	FailedReads atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of the counters.
@@ -70,6 +74,7 @@ type StatsSnapshot struct {
 	CacheHits   int64
 	CacheMisses int64
 	SharedSaved int64
+	FailedReads int64
 }
 
 // Extent identifies a bit range on the disk.
@@ -104,25 +109,58 @@ type Disk struct {
 // ErrInvalidRange reports an out-of-bounds disk access.
 var ErrInvalidRange = errors.New("iomodel: access outside allocated storage")
 
-// NewDisk returns a Disk with the given configuration. A zero BlockBits
-// selects DefaultBlockBits; BlockBits must be a positive multiple of 8 so
-// blocks are byte-addressable. A zero MemBits selects 1024 blocks.
-func NewDisk(cfg Config) *Disk {
+// maxBlockBits bounds BlockBits so derived quantities (block offsets, the
+// default MemBits of 1024 blocks) cannot overflow int64 arithmetic even on
+// hostile configurations decoded from untrusted serialized headers.
+const maxBlockBits = 1 << 31
+
+// Validate reports whether the configuration is acceptable to
+// NewDiskChecked. A zero BlockBits or MemBits is valid (a default is
+// substituted); anything else must be in range.
+func (cfg Config) Validate() error {
+	if cfg.BlockBits != 0 && (cfg.BlockBits < 0 || cfg.BlockBits%8 != 0) {
+		return fmt.Errorf("iomodel: BlockBits %d must be a positive multiple of 8", cfg.BlockBits)
+	}
+	if cfg.BlockBits > maxBlockBits {
+		return fmt.Errorf("iomodel: BlockBits %d exceeds maximum %d", cfg.BlockBits, maxBlockBits)
+	}
+	if cfg.MemBits < 0 {
+		return fmt.Errorf("iomodel: MemBits %d must not be negative", cfg.MemBits)
+	}
+	if cfg.CacheBlocks < 0 {
+		return fmt.Errorf("iomodel: CacheBlocks %d must not be negative", cfg.CacheBlocks)
+	}
+	return nil
+}
+
+// NewDiskChecked returns a Disk with the given configuration, or an error if
+// the configuration is invalid. A zero BlockBits selects DefaultBlockBits;
+// BlockBits must be a positive multiple of 8 so blocks are byte-addressable.
+// A zero MemBits selects 1024 blocks.
+func NewDiskChecked(cfg Config) (*Disk, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.BlockBits == 0 {
 		cfg.BlockBits = DefaultBlockBits
-	}
-	if cfg.BlockBits <= 0 || cfg.BlockBits%8 != 0 {
-		panic(fmt.Sprintf("iomodel: BlockBits %d must be a positive multiple of 8", cfg.BlockBits))
 	}
 	if cfg.MemBits == 0 {
 		cfg.MemBits = 1024 * cfg.BlockBits
 	}
-	if cfg.CacheBlocks < 0 {
-		panic(fmt.Sprintf("iomodel: CacheBlocks %d must not be negative", cfg.CacheBlocks))
-	}
 	d := &Disk{cfg: cfg}
 	if cfg.CacheBlocks > 0 {
 		d.cache = newBlockCache(cfg.CacheBlocks)
+	}
+	return d, nil
+}
+
+// NewDisk is NewDiskChecked for known-good configurations (tests, harness
+// code); it panics on an invalid one. Callers holding untrusted
+// configurations must use NewDiskChecked.
+func NewDisk(cfg Config) *Disk {
+	d, err := NewDiskChecked(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return d
 }
@@ -142,6 +180,7 @@ func (d *Disk) Stats() StatsSnapshot {
 		CacheHits:   d.stats.CacheHits.Load(),
 		CacheMisses: d.stats.CacheMisses.Load(),
 		SharedSaved: d.stats.SharedSaved.Load(),
+		FailedReads: d.stats.FailedReads.Load(),
 	}
 }
 
@@ -153,6 +192,7 @@ func (d *Disk) ResetStats() {
 	d.stats.CacheHits.Store(0)
 	d.stats.CacheMisses.Store(0)
 	d.stats.SharedSaved.Store(0)
+	d.stats.FailedReads.Store(0)
 }
 
 // CachedBlocks returns the number of blocks currently resident in the cache
@@ -304,6 +344,35 @@ func (d *Disk) BlockOff(id BlockID) int64 { return int64(id) * int64(d.cfg.Block
 // blockOf returns the block containing bit position pos.
 func (d *Disk) blockOf(pos int64) BlockID { return BlockID(pos / int64(d.cfg.BlockBits)) }
 
+// Device is the block-device abstraction the index layers build on: the
+// allocation, addressing, session and accounting surface of a Disk. A plain
+// Disk is the infallible Aggarwal–Vitter device; FaultDisk wraps one with a
+// seeded fault schedule. Index structures hold a Device so the same build
+// and query code runs against either.
+type Device interface {
+	// Geometry.
+	BlockBits() int
+	MemBits() int
+	// Allocation and addressing.
+	AllocStream(w *bitio.Writer) Extent
+	AlignToBlock()
+	AllocBlock() BlockID
+	FreeBlock(id BlockID)
+	BlockOff(id BlockID) int64
+	// Sessions. Reads made through a session may fail (ErrInvalidRange on a
+	// bad range always; injected faults on a fault-injecting device).
+	NewTouch() *Touch
+	NewBatchTouch() *BatchTouch
+	// Accounting.
+	Stats() StatsSnapshot
+	ResetStats()
+	CachedBlocks() int
+	AllocatedBits() int64
+	UsedBits() int64
+}
+
+var _ Device = (*Disk)(nil)
+
 // Touch is an I/O accounting session for one logical operation. Distinct
 // blocks read (written) during the session cost one read (write) I/O each,
 // no matter how many times they are accessed: the paper's model holds the
@@ -316,6 +385,12 @@ type Touch struct {
 	// charged counts the reads that actually hit the device: with a block
 	// cache, reads of resident blocks are free, so charged <= len(reads).
 	charged int
+	// faults is the owning FaultDisk's schedule, nil for sessions opened on a
+	// plain Disk. failed counts this session's failed read attempts; corrupt
+	// is per-call scratch listing blocks whose data must be silently flipped.
+	faults  *faultSched
+	failed  int
+	corrupt []BlockID
 }
 
 // NewTouch opens an accounting session, reusing a Closed one when available.
@@ -344,6 +419,9 @@ func (t *Touch) Close() {
 	clear(t.reads)
 	clear(t.writes)
 	t.charged = 0
+	t.faults = nil
+	t.failed = 0
+	t.corrupt = t.corrupt[:0]
 	t.d.touches.Put(t)
 }
 
@@ -357,22 +435,49 @@ func (t *Touch) Writes() int { return len(t.writes) }
 // IOs returns total blocks I/Os paid for (reads + writes).
 func (t *Touch) IOs() int { return t.charged + len(t.writes) }
 
-func (t *Touch) markRead(from, to BlockID) {
+// FailedReads returns the number of device read attempts that failed during
+// this session (always 0 on a plain Disk).
+func (t *Touch) FailedReads() int { return t.failed }
+
+// markRead charges the device reads for blocks [from,to]. With a fault
+// schedule attached and faulty set, each charged read consults the schedule
+// before it is paid for: an injected failure aborts the call (the block is
+// neither charged, recorded in the session, nor inserted into the cache, so
+// a retry attempts the device again), and silently corrupting blocks are
+// collected into the returned slice (valid until the next markRead) for the
+// caller to flip bits in the data it hands back. Write-path charges pass
+// faulty=false: the fault model only fails reads.
+func (t *Touch) markRead(from, to BlockID, faulty bool) ([]BlockID, error) {
+	fs := t.faults
+	t.corrupt = t.corrupt[:0]
 	for b := from; b <= to; b++ {
 		if _, ok := t.reads[b]; ok {
-			continue
+			continue // session-resident: already charged (or cache-hit)
+		}
+		if c := t.d.cache; c != nil && c.peek(b) {
+			t.reads[b] = struct{}{}
+			t.d.stats.CacheHits.Add(1)
+			continue // cache-resident: no device read, so no fault
+		}
+		if fs != nil && faulty {
+			cor, err := fs.onRead(b, &t.d.stats)
+			if err != nil {
+				t.failed++
+				return nil, err
+			}
+			if cor {
+				t.corrupt = append(t.corrupt, b)
+			}
 		}
 		t.reads[b] = struct{}{}
 		if c := t.d.cache; c != nil {
-			if c.touch(b) {
-				t.d.stats.CacheHits.Add(1)
-				continue // resident: no device read
-			}
 			t.d.stats.CacheMisses.Add(1)
+			c.note(b)
 		}
 		t.charged++
 		t.d.stats.BlockReads.Add(1)
 	}
+	return t.corrupt, nil
 }
 
 func (t *Touch) markWrite(from, to BlockID) {
@@ -398,8 +503,19 @@ func (t *Touch) ReadBits(pos int64, n int) (uint64, error) {
 	if n == 0 {
 		return 0, nil
 	}
-	t.markRead(t.d.blockOf(pos), t.d.blockOf(pos+int64(n)-1))
-	return t.d.getBits(pos, n), nil
+	corrupt, err := t.markRead(t.d.blockOf(pos), t.d.blockOf(pos+int64(n)-1), true)
+	if err != nil {
+		return 0, err
+	}
+	v := t.d.getBits(pos, n)
+	for _, b := range corrupt {
+		p := t.d.BlockOff(b) + t.faults.corruptBit(b, int64(t.d.cfg.BlockBits))
+		if p >= pos && p < pos+int64(n) {
+			// The read's first bit lands in the high position of v.
+			v ^= 1 << uint(int64(n)-1-(p-pos))
+		}
+	}
+	return v, nil
 }
 
 // WriteBits writes the low n bits of v at bit position pos, charging I/Os.
@@ -416,7 +532,7 @@ func (t *Touch) WriteBits(pos int64, v uint64, n int) error {
 		return nil
 	}
 	from, to := t.d.blockOf(pos), t.d.blockOf(pos+int64(n)-1)
-	t.markRead(from, to)
+	_, _ = t.markRead(from, to, false) // write-path residency charge: never faults
 	t.markWrite(from, to)
 	t.d.putBits(pos, v, n)
 	return nil
@@ -445,7 +561,10 @@ func (t *Touch) ReaderInto(ext Extent, w *bitio.Writer) error {
 	if ext.Off < 0 || ext.End() > t.d.tailBits {
 		return ErrInvalidRange
 	}
-	t.markRead(t.d.blockOf(ext.Off), t.d.blockOf(ext.End()-1))
+	corrupt, err := t.markRead(t.d.blockOf(ext.Off), t.d.blockOf(ext.End()-1), true)
+	if err != nil {
+		return err
+	}
 	// Materialise the extent as a byte-aligned buffer (a copy, so later
 	// writes to the device never alias a live reader), whole words at a time.
 	var src bitio.Reader
@@ -454,7 +573,19 @@ func (t *Touch) ReaderInto(ext Extent, w *bitio.Writer) error {
 		return err
 	}
 	w.Grow(int(ext.Bits))
-	return w.CopyBits(&src, int(ext.Bits))
+	if err := w.CopyBits(&src, int(ext.Bits)); err != nil {
+		return err
+	}
+	for _, b := range corrupt {
+		p := t.d.BlockOff(b) + t.faults.corruptBit(b, int64(t.d.cfg.BlockBits))
+		if p >= ext.Off && p < ext.End() {
+			// Flip the bad bit in the materialised copy (MSB-first packing);
+			// the device's stored bits stay intact, as with a real transfer.
+			rel := p - ext.Off
+			w.Bytes()[rel>>3] ^= 0x80 >> uint(rel&7)
+		}
+	}
+	return nil
 }
 
 // WriteStream overwrites the bits of ext with the contents of w, whose
@@ -470,7 +601,7 @@ func (t *Touch) WriteStream(ext Extent, w *bitio.Writer) error {
 		return nil
 	}
 	from, to := t.d.blockOf(ext.Off), t.d.blockOf(ext.Off+int64(w.Len())-1)
-	t.markRead(from, to)
+	_, _ = t.markRead(from, to, false) // write-path residency charge: never faults
 	t.markWrite(from, to)
 	r := bitio.NewReader(w.Bytes(), w.Len())
 	pos := ext.Off

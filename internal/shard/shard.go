@@ -18,10 +18,13 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cbitmap"
 	"repro/internal/core"
@@ -48,13 +51,77 @@ type Options struct {
 	Branching int
 	Stride    int
 	Seed      int64
+	// Faults, when non-nil, puts every shard on a fault-injecting device with
+	// this schedule. Shard i draws its faults from Faults.Seed+i, so the
+	// shards fail independently, the way independent physical devices do.
+	// Shards build disarmed (builds are never faulted); ArmFaults starts the
+	// schedule firing on query reads.
+	Faults *iomodel.FaultConfig
 }
+
+// RetryPolicy bounds per-shard retries of transiently failing operations.
+// The zero value retries nothing.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per shard operation,
+	// including the first (values < 1 mean 1: no retry). Only transient
+	// device faults (iomodel.ErrTransientRead) are retried; permanent
+	// faults, corruption and cancellation fail immediately.
+	MaxAttempts int
+	// Backoff is the sleep before the first retry; attempt k waits
+	// Backoff·2^(k-1), capped at MaxBackoff when MaxBackoff > 0. The waits
+	// honour context cancellation.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// delay returns the backoff before re-issuing after `attempt` failures.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// ExecOptions configures one fault-tolerant query execution.
+type ExecOptions struct {
+	// Retry is the per-shard retry policy for transient device faults.
+	Retry RetryPolicy
+	// AllowPartial opts into degraded answers: shards that still fail after
+	// retries are dropped from the merge, their rows reported absent through
+	// the per-shard error report instead of failing the whole query.
+	// Cancellation is never degraded — a done context fails the query even
+	// in partial mode.
+	AllowPartial bool
+}
+
+// ShardError reports one shard's failure inside a degraded (AllowPartial)
+// answer: the failing shard, the global row range whose answer bits are
+// missing, how many attempts were made, and the last error.
+type ShardError struct {
+	Shard            int
+	RowStart, RowEnd int64 // global rows [RowStart, RowEnd) not answered
+	Attempts         int
+	Err              error
+}
+
+func (e ShardError) Error() string {
+	return fmt.Sprintf("shard %d (rows [%d,%d)) failed after %d attempt(s): %v",
+		e.Shard, e.RowStart, e.RowEnd, e.Attempts, e.Err)
+}
+
+func (e ShardError) Unwrap() error { return e.Err }
 
 // shard is one contiguous row range [start, start+ax.Len()) of the column.
 type shard struct {
 	ax    *core.Approx
-	disk  *iomodel.Disk
-	start int64 // global row id of the shard's local row 0
+	disk  iomodel.Device
+	fd    *iomodel.FaultDisk // non-nil iff Options.Faults was set
+	start int64              // global row id of the shard's local row 0
+	end   int64              // global row id one past the shard's last row
 }
 
 // Index is a sharded static secondary index over a column of n rows.
@@ -71,11 +138,21 @@ func Build(data []uint32, sigma int, opts Options) (*Index, error) {
 	if sigma < 1 {
 		return nil, fmt.Errorf("shard: alphabet size %d", sigma)
 	}
-	if opts.CacheBlocks < 0 {
-		// Validate here: iomodel.NewDisk panics on a negative capacity, and
-		// it is called inside a build worker goroutine where a panic would
-		// kill the process instead of surfacing as Build's error.
-		return nil, fmt.Errorf("shard: CacheBlocks %d must not be negative", opts.CacheBlocks)
+	diskCfg := iomodel.Config{
+		BlockBits:   opts.BlockBits,
+		MemBits:     opts.MemBits,
+		CacheBlocks: opts.CacheBlocks,
+	}
+	// Validate the device configuration once up front: the disks are created
+	// inside build worker goroutines, where an error must surface as Build's
+	// error rather than a panic killing the process.
+	if err := diskCfg.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
 	}
 	s := opts.Shards
 	if s < 1 {
@@ -109,11 +186,26 @@ func Build(data []uint32, sigma int, opts Options) (*Index, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			d := iomodel.NewDisk(iomodel.Config{
-				BlockBits:   opts.BlockBits,
-				MemBits:     opts.MemBits,
-				CacheBlocks: opts.CacheBlocks,
-			})
+			var d iomodel.Device
+			var fd *iomodel.FaultDisk
+			if opts.Faults != nil {
+				fc := *opts.Faults
+				fc.Seed += int64(i) // independent per-shard fault patterns
+				var err error
+				fd, err = iomodel.NewFaultDiskChecked(diskCfg, fc)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				d = fd
+			} else {
+				dd, err := iomodel.NewDiskChecked(diskCfg)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				d = dd
+			}
 			ax, err := core.BuildApprox(d, workload.Column{X: data[start:end], Sigma: sigma}, core.ApproxOptions{
 				OptimalOptions: core.OptimalOptions{Branching: opts.Branching, Stride: opts.Stride},
 				Seed:           opts.Seed,
@@ -122,7 +214,7 @@ func Build(data []uint32, sigma int, opts Options) (*Index, error) {
 				errs[i] = err
 				return
 			}
-			sx.shards[i] = &shard{ax: ax, disk: d, start: start}
+			sx.shards[i] = &shard{ax: ax, disk: d, fd: fd, start: start, end: end}
 		}(i, start, end)
 	}
 	wg.Wait()
@@ -152,6 +244,25 @@ func (sx *Index) SizeBits() int64 {
 	return bits
 }
 
+// ArmFaults starts the fault schedule firing on every shard built with
+// Options.Faults; shards without a fault device are unaffected.
+func (sx *Index) ArmFaults() {
+	for _, sh := range sx.shards {
+		if sh.fd != nil {
+			sh.fd.Arm()
+		}
+	}
+}
+
+// DisarmFaults stops fault injection on every shard.
+func (sx *Index) DisarmFaults() {
+	for _, sh := range sx.shards {
+		if sh.fd != nil {
+			sh.fd.Disarm()
+		}
+	}
+}
+
 // DeviceStats sums the cumulative device counters of every shard's disk.
 func (sx *Index) DeviceStats() iomodel.StatsSnapshot {
 	var out iomodel.StatsSnapshot
@@ -163,6 +274,7 @@ func (sx *Index) DeviceStats() iomodel.StatsSnapshot {
 		out.CacheHits += st.CacheHits
 		out.CacheMisses += st.CacheMisses
 		out.SharedSaved += st.SharedSaved
+		out.FailedReads += st.FailedReads
 	}
 	return out
 }
@@ -185,6 +297,66 @@ func (sx *Index) ResetDeviceStats() {
 	}
 }
 
+// retryTransient runs op with the policy's bounded retries: only transient
+// device faults re-issue, with an exponential, cancellation-aware backoff
+// between attempts. Every attempt's stats accumulate into stats (so failed
+// attempts' charged I/O stays visible), and each re-issued attempt counts
+// once in stats.RetriedReads. It returns the attempt count and the final
+// error.
+func retryTransient(ctx context.Context, pol RetryPolicy, stats *index.QueryStats, op func() (index.QueryStats, error)) (int, error) {
+	max := pol.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	for attempt := 1; ; attempt++ {
+		st, err := op()
+		stats.Add(st)
+		if err == nil || attempt >= max || !errors.Is(err, iomodel.ErrTransientRead) {
+			return attempt, err
+		}
+		if d := pol.delay(attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return attempt, ctx.Err()
+			case <-t.C:
+			}
+		} else if cerr := ctx.Err(); cerr != nil {
+			return attempt, cerr
+		}
+		stats.RetriedReads++
+	}
+}
+
+// collectReport folds the per-shard outcomes of a fan-out into either a
+// degraded-mode report or a fatal error. All-healthy returns (nil, nil).
+// Without AllowPartial the first error in shard order is fatal. With it,
+// device failures become ShardError entries — but cancellation stays fatal,
+// and so does every shard failing (there is no answer left to degrade to).
+func (sx *Index) collectReport(errs []error, attempts []int, eo ExecOptions) ([]ShardError, error) {
+	var report []ShardError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !eo.AllowPartial || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		report = append(report, ShardError{
+			Shard:    i,
+			RowStart: sx.shards[i].start,
+			RowEnd:   sx.shards[i].end,
+			Attempts: attempts[i],
+			Err:      err,
+		})
+	}
+	if len(report) == len(sx.shards) && len(report) > 0 {
+		return nil, fmt.Errorf("shard: every shard failed: %w", report[0])
+	}
+	return report, nil
+}
+
 // Query answers I[lo;hi] by fanning the range out to every shard and merging
 // the compressed per-shard answers, rebased by each shard's row offset. The
 // returned stats sum the per-shard I/O costs (total block transfers; on S
@@ -192,49 +364,73 @@ func (sx *Index) ResetDeviceStats() {
 // range has nothing to share, so it runs the per-shard fused pipeline
 // directly rather than the batch planner.
 func (sx *Index) Query(r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	return sx.QueryContext(context.Background(), r)
+}
+
+// QueryContext answers like Query, honouring ctx: cancellation stops
+// scheduling shard tasks and checkpoints inside each shard's pipeline.
+func (sx *Index) QueryContext(ctx context.Context, r index.Range) (*cbitmap.Bitmap, index.QueryStats, error) {
+	bm, stats, _, err := sx.QueryExec(ctx, r, ExecOptions{})
+	return bm, stats, err
+}
+
+// QueryExec is the fault-tolerant query entry point: per-shard bounded
+// retries for transient device faults per eo.Retry, and (with
+// eo.AllowPartial) a degraded answer merging only the healthy shards. The
+// report is non-nil exactly when the answer is partial; its entries name the
+// global row ranges whose bits are missing from the answer.
+func (sx *Index) QueryExec(ctx context.Context, r index.Range, eo ExecOptions) (*cbitmap.Bitmap, index.QueryStats, []ShardError, error) {
 	var stats index.QueryStats
 	if err := r.Valid(sx.sigma); err != nil {
-		return nil, stats, err
-	}
-	if len(sx.shards) == 1 {
-		// One shard covers every row, so its local answer is already the
-		// global one (row offset 0) — no fan-out, no merge.
-		return sx.shards[0].ax.Query(r)
+		return nil, stats, nil, err
 	}
 	parts := make([]cbitmap.Shifted, len(sx.shards))
 	sts := make([]index.QueryStats, len(sx.shards))
+	attempts := make([]int, len(sx.shards))
 	errs := make([]error, len(sx.shards))
-	var failed atomic.Bool
-	sx.runTasks(len(sx.shards), &failed, func(i int) error {
-		bm, st, err := sx.shards[i].ax.Query(r)
-		if err != nil {
-			return err
-		}
-		parts[i] = cbitmap.Shifted{Bm: bm, Off: sx.shards[i].start}
-		sts[i] = st
-		return nil
+	sx.runTasks(ctx, len(sx.shards), !eo.AllowPartial, func(i int) error {
+		a, err := retryTransient(ctx, eo.Retry, &sts[i], func() (index.QueryStats, error) {
+			bm, st, err := sx.shards[i].ax.QueryContext(ctx, r)
+			if err != nil {
+				return st, err
+			}
+			parts[i] = cbitmap.Shifted{Bm: bm, Off: sx.shards[i].start}
+			return st, nil
+		})
+		attempts[i] = a
+		return err
 	}, errs)
-	for _, err := range errs {
-		if err != nil {
-			return nil, stats, err
-		}
-	}
 	for _, st := range sts {
 		stats.Add(st)
 	}
-	out, err := cbitmap.UnionAll(sx.n, parts...)
+	report, err := sx.collectReport(errs, attempts, eo)
 	if err != nil {
-		return nil, stats, err
+		return nil, stats, nil, err
 	}
-	return out, stats, nil
+	if len(sx.shards) == 1 && report == nil {
+		// One shard covers every row, so its local answer is already the
+		// global one (row offset 0) — no merge.
+		return parts[0].Bm, stats, nil, nil
+	}
+	healthy := parts[:0:0]
+	for _, p := range parts {
+		if p.Bm != nil {
+			healthy = append(healthy, p)
+		}
+	}
+	out, err := cbitmap.UnionAll(sx.n, healthy...)
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	return out, stats, report, nil
 }
 
 // shardBatchQuery is the per-shard batch entry point: the shard runs the
 // whole deduplicated batch through core's shared-scan planner, so ranges
 // that overlap coalesce their cover-chunk reads inside every shard. It is a
 // variable so tests can inject failing shards.
-var shardBatchQuery = func(sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
-	return sh.ax.QueryBatch(rs)
+var shardBatchQuery = func(ctx context.Context, sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+	return sh.ax.QueryBatchContext(ctx, rs)
 }
 
 // QueryBatch answers a batch of ranges. Duplicate ranges are deduplicated
@@ -250,12 +446,29 @@ var shardBatchQuery = func(sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, inde
 // drained without running once any task records an error, and the first
 // error in shard order is returned.
 func (sx *Index) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+	return sx.QueryBatchContext(context.Background(), rs)
+}
+
+// QueryBatchContext answers like QueryBatch, honouring ctx: cancellation
+// stops scheduling shard tasks and checkpoints inside each shard's planner
+// (plan, scan and merge loops).
+func (sx *Index) QueryBatchContext(ctx context.Context, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+	out, stats, _, err := sx.QueryBatchExec(ctx, rs, ExecOptions{})
+	return out, stats, err
+}
+
+// QueryBatchExec is the fault-tolerant batch entry point, the batch analogue
+// of QueryExec: per-shard bounded retries for transient faults, and (with
+// eo.AllowPartial) degraded answers merging only the healthy shards. With a
+// non-nil report, every returned bitmap is missing the reported shards'
+// rows.
+func (sx *Index) QueryBatchExec(ctx context.Context, rs []index.Range, eo ExecOptions) ([]*cbitmap.Bitmap, index.QueryStats, []ShardError, error) {
 	var stats index.QueryStats
 	uniq := make(map[index.Range]int, len(rs))
 	var order []index.Range
 	for _, r := range rs {
 		if err := r.Valid(sx.sigma); err != nil {
-			return nil, stats, err
+			return nil, stats, nil, err
 		}
 		if _, ok := uniq[r]; !ok {
 			uniq[r] = len(order)
@@ -264,62 +477,69 @@ func (sx *Index) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QuerySta
 	}
 	out := make([]*cbitmap.Bitmap, len(rs))
 	if len(order) == 0 {
-		return out, stats, nil
+		return out, stats, nil, nil
 	}
 	if len(order) == 1 {
 		// One distinct range: the direct single-query fan-out, no planner.
-		bm, st, err := sx.Query(order[0])
+		bm, st, report, err := sx.QueryExec(ctx, order[0], eo)
 		if err != nil {
-			return nil, st, err
+			return nil, st, nil, err
 		}
 		for i := range out {
 			out[i] = bm
 		}
-		return out, st, nil
+		return out, st, report, nil
 	}
 
-	// Phase 1 — per-shard shared scans, one task per shard through the pool.
+	// Phase 1 — per-shard shared scans, one task per shard through the pool,
+	// each wrapped in the retry policy.
 	perShard := make([][]*cbitmap.Bitmap, len(sx.shards))
 	shardStats := make([]index.QueryStats, len(sx.shards))
+	attempts := make([]int, len(sx.shards))
 	errs := make([]error, len(sx.shards))
-	var failed atomic.Bool
-	sx.runTasks(len(sx.shards), &failed, func(i int) error {
-		bms, st, err := shardBatchQuery(sx.shards[i], order)
-		if err != nil {
-			return err
-		}
-		perShard[i], shardStats[i] = bms, st
-		return nil
+	sx.runTasks(ctx, len(sx.shards), !eo.AllowPartial, func(i int) error {
+		a, err := retryTransient(ctx, eo.Retry, &shardStats[i], func() (index.QueryStats, error) {
+			bms, st, err := shardBatchQuery(ctx, sx.shards[i], order)
+			if err != nil {
+				return st, err
+			}
+			perShard[i] = bms
+			return st, nil
+		})
+		attempts[i] = a
+		return err
 	}, errs)
-	for _, err := range errs {
-		if err != nil {
-			return nil, stats, err
-		}
-	}
 	for _, st := range shardStats {
 		stats.Add(st)
+	}
+	report, err := sx.collectReport(errs, attempts, eo)
+	if err != nil {
+		return nil, stats, nil, err
 	}
 
 	// Phase 2 — per-range cross-shard merges through the same pool. UnionAll
 	// feeds the shard answers through the streaming k-way merge with head-gap
 	// offsetting; shard answers are disjoint and ordered, so the merge
-	// degenerates to verbatim concatenation.
+	// degenerates to verbatim concatenation. Failed shards (degraded mode)
+	// simply contribute no parts.
 	merged := make([]*cbitmap.Bitmap, len(order))
-	if len(sx.shards) == 1 {
+	if len(sx.shards) == 1 && report == nil {
 		// One shard covers every row: its local answers are already global
 		// (row offset 0), so the merge pass would only re-copy them.
 		copy(merged, perShard[0])
 		for i, r := range rs {
 			out[i] = merged[uniq[r]]
 		}
-		return out, stats, nil
+		return out, stats, nil, nil
 	}
 	mergeErrs := make([]error, len(order))
-	failed.Store(false)
-	sx.runTasks(len(order), &failed, func(qi int) error {
-		parts := make([]cbitmap.Shifted, len(sx.shards))
+	sx.runTasks(ctx, len(order), true, func(qi int) error {
+		parts := make([]cbitmap.Shifted, 0, len(sx.shards))
 		for hi, sh := range sx.shards {
-			parts[hi] = cbitmap.Shifted{Bm: perShard[hi][qi], Off: sh.start}
+			if perShard[hi] == nil {
+				continue // failed shard in degraded mode
+			}
+			parts = append(parts, cbitmap.Shifted{Bm: perShard[hi][qi], Off: sh.start})
 		}
 		var err error
 		merged[qi], err = cbitmap.UnionAll(sx.n, parts...)
@@ -327,25 +547,29 @@ func (sx *Index) QueryBatch(rs []index.Range) ([]*cbitmap.Bitmap, index.QuerySta
 	}, mergeErrs)
 	for _, err := range mergeErrs {
 		if err != nil {
-			return nil, stats, err
+			return nil, stats, nil, err
 		}
 	}
 	for i, r := range rs {
 		out[i] = merged[uniq[r]]
 	}
-	return out, stats, nil
+	return out, stats, report, nil
 }
 
 // runTasks executes run(0..n-1) through min(workers, n) pool goroutines
 // pulling task indices from a shared counter, recording per-task errors in
-// errs. Once any task fails, tasks that have not started yet are drained
-// without running — the batch is doomed, so the remaining work would be
-// wasted I/O and the error should surface promptly.
-func (sx *Index) runTasks(n int, failed *atomic.Bool, run func(int) error, errs []error) {
+// errs. With shortCircuit, tasks that have not started by the time any task
+// fails are drained without running — the batch is doomed, so the remaining
+// work would be wasted I/O and the error should surface promptly. Degraded
+// (AllowPartial) fan-outs disable the short-circuit: every shard must get
+// its chance to answer. A done ctx always stops scheduling; unstarted tasks
+// record the ctx error.
+func (sx *Index) runTasks(ctx context.Context, n int, shortCircuit bool, run func(int) error, errs []error) {
 	workers := sx.workers
 	if workers > n {
 		workers = n
 	}
+	var failed atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -357,7 +581,11 @@ func (sx *Index) runTasks(n int, failed *atomic.Bool, run func(int) error, errs 
 				if i >= n {
 					return
 				}
-				if failed.Load() {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if shortCircuit && failed.Load() {
 					continue // short-circuit: a sibling task already failed
 				}
 				if err := run(i); err != nil {

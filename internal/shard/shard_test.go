@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -33,7 +34,7 @@ func TestQueryBatchShortCircuit(t *testing.T) {
 	var calls atomic.Int32
 	orig := shardBatchQuery
 	defer func() { shardBatchQuery = orig }()
-	shardBatchQuery = func(sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+	shardBatchQuery = func(ctx context.Context, sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
 		calls.Add(1)
 		return nil, index.QueryStats{}, injected
 	}
@@ -61,11 +62,11 @@ func TestQueryBatchPartialFailure(t *testing.T) {
 	orig := shardBatchQuery
 	defer func() { shardBatchQuery = orig }()
 	fail := true
-	shardBatchQuery = func(sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
+	shardBatchQuery = func(ctx context.Context, sh *shard, rs []index.Range) ([]*cbitmap.Bitmap, index.QueryStats, error) {
 		if fail && sh.start == 0 {
 			return nil, index.QueryStats{}, fmt.Errorf("shard at row 0 is down")
 		}
-		return orig(sh, rs)
+		return orig(ctx, sh, rs)
 	}
 	if _, _, err := sx.QueryBatch([]index.Range{{Lo: 0, Hi: 7}, {Lo: 8, Hi: 15}}); err == nil {
 		t.Fatal("batch with a failing shard returned no error")

@@ -21,6 +21,7 @@
 package secidx
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cbitmap"
@@ -37,15 +38,26 @@ import (
 // shared-scan planner avoided versus running every query in its own session
 // (Reads + SharedSaved is the looped-query cost of the same batch on a
 // cache-less device).
+//
+// On a fault-injecting device (ShardOptions.Faults) two more counters are
+// live: FailedReads counts device read attempts that failed — including
+// transient failures that a later retry recovered — and RetriedReads counts
+// whole-shard attempts the retry layer re-issued. A fault-free run reports
+// zero for both.
 type Stats struct {
-	Reads       int
-	Writes      int
-	BitsRead    int64
-	SharedSaved int
+	Reads        int
+	Writes       int
+	BitsRead     int64
+	SharedSaved  int
+	FailedReads  int
+	RetriedReads int
 }
 
 func fromQS(s index.QueryStats) Stats {
-	return Stats{Reads: s.Reads, Writes: s.Writes, BitsRead: s.BitsRead, SharedSaved: s.SharedSaved}
+	return Stats{
+		Reads: s.Reads, Writes: s.Writes, BitsRead: s.BitsRead, SharedSaved: s.SharedSaved,
+		FailedReads: s.FailedReads, RetriedReads: s.RetriedReads,
+	}
 }
 
 // Result is a query answer: a compressed set of row ids.
@@ -117,8 +129,15 @@ type Options struct {
 	Buffered bool
 }
 
-func (o Options) disk() *iomodel.Disk {
-	return iomodel.NewDisk(iomodel.Config{BlockBits: o.BlockBits, MemBits: o.MemBits})
+// disk validates the device parameters and creates the simulated disk.
+// Validation runs through iomodel.Config.Validate, so a bad BlockBits or
+// MemBits surfaces as the Build error instead of a panic.
+func (o Options) disk() (*iomodel.Disk, error) {
+	d, err := iomodel.NewDiskChecked(iomodel.Config{BlockBits: o.BlockBits, MemBits: o.MemBits})
+	if err != nil {
+		return nil, fmt.Errorf("secidx: %w", err)
+	}
+	return d, nil
 }
 
 // Index is the static secondary index of Theorems 2 and 3.
@@ -134,7 +153,10 @@ func Build(data []uint32, sigma int, opts Options) (*Index, error) {
 	if sigma < 1 {
 		return nil, fmt.Errorf("secidx: alphabet size %d", sigma)
 	}
-	d := opts.disk()
+	d, err := opts.disk()
+	if err != nil {
+		return nil, err
+	}
 	ax, err := core.BuildApprox(d, workload.Column{X: data, Sigma: sigma}, core.ApproxOptions{
 		OptimalOptions: core.OptimalOptions{Branching: opts.Branching, Stride: opts.Stride},
 		Seed:           opts.Seed,
@@ -156,7 +178,14 @@ func (ix *Index) SizeBits() int64 { return ix.ax.SizeBits() }
 
 // Query answers I[lo;hi] exactly.
 func (ix *Index) Query(lo, hi uint32) (*Result, Stats, error) {
-	bm, st, err := ix.ax.Query(index.Range{Lo: lo, Hi: hi})
+	return ix.QueryContext(context.Background(), lo, hi)
+}
+
+// QueryContext answers I[lo;hi] exactly, honouring ctx: the query pipeline
+// checkpoints cancellation between cover members and aborts with the context
+// error. Stats are populated even on error.
+func (ix *Index) QueryContext(ctx context.Context, lo, hi uint32) (*Result, Stats, error) {
+	bm, st, err := ix.ax.QueryContext(ctx, index.Range{Lo: lo, Hi: hi})
 	if err != nil {
 		return nil, fromQS(st), err
 	}
@@ -172,11 +201,17 @@ func (ix *Index) Query(lo, hi uint32) (*Result, Stats, error) {
 // bit-identical to looped Query calls; the i-th result corresponds to
 // ranges[i]. Stats are batch-level (see Stats).
 func (ix *Index) QueryBatch(ranges []Range) ([]*Result, Stats, error) {
+	return ix.QueryBatchContext(context.Background(), ranges)
+}
+
+// QueryBatchContext answers like QueryBatch, honouring ctx: the batch
+// planner checkpoints cancellation in its plan, scan and merge loops.
+func (ix *Index) QueryBatchContext(ctx context.Context, ranges []Range) ([]*Result, Stats, error) {
 	rs := make([]index.Range, len(ranges))
 	for i, r := range ranges {
 		rs[i] = index.Range{Lo: r.Lo, Hi: r.Hi}
 	}
-	bms, st, err := ix.ax.QueryBatch(rs)
+	bms, st, err := ix.ax.QueryBatchContext(ctx, rs)
 	if err != nil {
 		return nil, fromQS(st), err
 	}
@@ -230,7 +265,12 @@ func IntersectApprox(rs ...*ApproxResult) (*ApproxResult, error) {
 // per non-matching row (Theorem 3), reading O(z lg(1/eps)) bits instead of
 // O(z lg(n/z)).
 func (ix *Index) ApproxQuery(lo, hi uint32, eps float64) (*ApproxResult, Stats, error) {
-	res, st, err := ix.ax.ApproxQuery(index.Range{Lo: lo, Hi: hi}, eps)
+	return ix.ApproxQueryContext(context.Background(), lo, hi, eps)
+}
+
+// ApproxQueryContext answers like ApproxQuery, honouring ctx.
+func (ix *Index) ApproxQueryContext(ctx context.Context, lo, hi uint32, eps float64) (*ApproxResult, Stats, error) {
+	res, st, err := ix.ax.ApproxQueryContext(ctx, index.Range{Lo: lo, Hi: hi}, eps)
 	if err != nil {
 		return nil, fromQS(st), err
 	}
@@ -250,7 +290,10 @@ func BuildAppend(data []uint32, sigma int, opts Options) (*AppendIndex, error) {
 	if sigma < 1 {
 		return nil, fmt.Errorf("secidx: alphabet size %d", sigma)
 	}
-	d := opts.disk()
+	d, err := opts.disk()
+	if err != nil {
+		return nil, err
+	}
 	ax, err := core.BuildAppendIndex(d, workload.Column{X: data, Sigma: sigma}, core.AppendOptions{
 		Branching: opts.Branching,
 		Stride:    opts.Stride,
@@ -270,7 +313,12 @@ func (ix *AppendIndex) Append(ch uint32) (Stats, error) {
 
 // Query answers I[lo;hi].
 func (ix *AppendIndex) Query(lo, hi uint32) (*Result, Stats, error) {
-	bm, st, err := ix.ax.Query(index.Range{Lo: lo, Hi: hi})
+	return ix.QueryContext(context.Background(), lo, hi)
+}
+
+// QueryContext answers I[lo;hi], honouring ctx.
+func (ix *AppendIndex) QueryContext(ctx context.Context, lo, hi uint32) (*Result, Stats, error) {
+	bm, st, err := ix.ax.QueryContext(ctx, index.Range{Lo: lo, Hi: hi})
 	if err != nil {
 		return nil, fromQS(st), err
 	}
@@ -294,7 +342,10 @@ func BuildDynamic(data []uint32, sigma int, opts Options) (*DynamicIndex, error)
 	if sigma < 1 {
 		return nil, fmt.Errorf("secidx: alphabet size %d", sigma)
 	}
-	d := opts.disk()
+	d, err := opts.disk()
+	if err != nil {
+		return nil, err
+	}
 	dx, err := core.BuildDynamic(d, workload.Column{X: data, Sigma: sigma}, core.DynamicOptions{
 		Branching: opts.Branching,
 		Stride:    opts.Stride,
@@ -326,7 +377,12 @@ func (ix *DynamicIndex) Append(ch uint32) (Stats, error) {
 
 // Query answers I[lo;hi].
 func (ix *DynamicIndex) Query(lo, hi uint32) (*Result, Stats, error) {
-	bm, st, err := ix.dx.Query(index.Range{Lo: lo, Hi: hi})
+	return ix.QueryContext(context.Background(), lo, hi)
+}
+
+// QueryContext answers I[lo;hi], honouring ctx.
+func (ix *DynamicIndex) QueryContext(ctx context.Context, lo, hi uint32) (*Result, Stats, error) {
+	bm, st, err := ix.dx.QueryContext(ctx, index.Range{Lo: lo, Hi: hi})
 	if err != nil {
 		return nil, fromQS(st), err
 	}

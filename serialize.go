@@ -3,11 +3,18 @@ package secidx
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math/bits"
 )
+
+// ErrCorrupt is wrapped by every Load error caused by the input bytes —
+// truncation, bad magic, implausible header fields, out-of-range keys or a
+// checksum mismatch — as opposed to I/O errors from the reader itself.
+// Detect it with errors.Is.
+var ErrCorrupt = errors.New("secidx: corrupt index data")
 
 // Serialization of the static index. The on-wire format stores the build
 // options, the hash seed and the bit-packed column (⌈lg σ⌉ bits per key),
@@ -87,7 +94,34 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// Load reads an index serialised by WriteTo and rebuilds it.
+// Load-time caps on header fields. The serialised header is untrusted input
+// until its checksum verifies — and the checksum is integrity, not
+// authenticity — so every field that sizes an allocation or drives a loop is
+// bounded before it is used.
+const (
+	// maxLoadRows bounds the declared row count.
+	maxLoadRows = 1 << 40
+	// maxLoadSigma bounds the declared alphabet: the rebuild allocates
+	// O(sigma) position lists, so sigma must not be attacker-sized.
+	maxLoadSigma = 1 << 22
+	// maxLoadParam bounds the tree parameters (branching, stride) and the
+	// device parameters far above any useful value.
+	maxLoadParam = 1 << 30
+	// loadChunkRows caps the column slice's up-front capacity: the slice
+	// grows with the words actually read, so a hostile row count in the
+	// header cannot allocate more than a constant factor of the real input.
+	loadChunkRows = 1 << 16
+)
+
+// corruptf reports malformed input, wrapping ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Load reads an index serialised by WriteTo and rebuilds it. Input is
+// untrusted: truncated, oversized or bit-flipped files fail with an error
+// wrapping ErrCorrupt, never a panic, and allocations are bounded by the
+// bytes actually read rather than by header-declared sizes.
 func Load(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	h := fnv.New64a()
@@ -95,10 +129,10 @@ func Load(r io.Reader) (*Index, error) {
 
 	hdr := make([]byte, len(magic))
 	if _, err := io.ReadFull(in, hdr); err != nil {
-		return nil, fmt.Errorf("secidx: load header: %w", err)
+		return nil, corruptf("load header: %v", err)
 	}
 	if string(hdr) != magic {
-		return nil, fmt.Errorf("secidx: bad magic %q", hdr)
+		return nil, corruptf("bad magic %q", hdr)
 	}
 	get := func() (uint64, error) {
 		var buf [8]byte
@@ -111,16 +145,21 @@ func Load(r io.Reader) (*Index, error) {
 	for i := range fields {
 		v, err := get()
 		if err != nil {
-			return nil, fmt.Errorf("secidx: load field %d: %w", i, err)
+			return nil, corruptf("load field %d: %v", i, err)
 		}
 		fields[i] = v
 	}
 	if fields[0] != formatVersion {
-		return nil, fmt.Errorf("secidx: unsupported format version %d", fields[0])
+		return nil, corruptf("unsupported format version %d", fields[0])
 	}
 	n, sigma := fields[1], fields[2]
-	if sigma == 0 || n > 1<<40 {
-		return nil, fmt.Errorf("secidx: implausible header (n=%d, sigma=%d)", n, sigma)
+	if sigma == 0 || sigma > maxLoadSigma || n > maxLoadRows {
+		return nil, corruptf("implausible header (n=%d, sigma=%d)", n, sigma)
+	}
+	for i := 3; i <= 6; i++ {
+		if fields[i] > maxLoadParam {
+			return nil, corruptf("implausible option field %d (%d)", i, fields[i])
+		}
 	}
 	opts := Options{
 		BlockBits: int(fields[3]), MemBits: int(fields[4]),
@@ -128,17 +167,20 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	width := max(1, bits.Len64(sigma-1))
 	perWord := 64 / width
-	col := make([]uint32, 0, n)
+	// Start small regardless of the declared n: append growth tracks the
+	// words actually read, so a truncated or hostile file stops allocating
+	// when its bytes run out.
+	col := make([]uint32, 0, min(n, loadChunkRows))
 	mask := uint64(1)<<uint(width) - 1
 	for uint64(len(col)) < n {
 		word, err := get()
 		if err != nil {
-			return nil, fmt.Errorf("secidx: load column: %w", err)
+			return nil, corruptf("load column: %v", err)
 		}
 		for k := 0; k < perWord && uint64(len(col)) < n; k++ {
 			v := word & mask
 			if v >= sigma {
-				return nil, fmt.Errorf("secidx: corrupt column (key %d >= sigma %d)", v, sigma)
+				return nil, corruptf("corrupt column (key %d >= sigma %d)", v, sigma)
 			}
 			col = append(col, uint32(v))
 			word >>= uint(width)
@@ -147,10 +189,17 @@ func Load(r io.Reader) (*Index, error) {
 	want := h.Sum64()
 	var buf [8]byte
 	if _, err := io.ReadFull(br, buf[:]); err != nil {
-		return nil, fmt.Errorf("secidx: load checksum: %w", err)
+		return nil, corruptf("load checksum: %v", err)
 	}
 	if got := binary.LittleEndian.Uint64(buf[:]); got != want {
-		return nil, fmt.Errorf("secidx: checksum mismatch (file %x, computed %x)", got, want)
+		return nil, corruptf("checksum mismatch (file %x, computed %x)", got, want)
 	}
-	return Build(col, int(sigma), opts)
+	ix, err := Build(col, int(sigma), opts)
+	if err != nil {
+		// The checksum passed, so the bytes faithfully carry what WriteTo
+		// wrote — but the options can still be unbuildable (WriteTo never
+		// produces them, so the file was crafted).
+		return nil, corruptf("rebuild: %v", err)
+	}
+	return ix, nil
 }

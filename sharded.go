@@ -1,7 +1,11 @@
 package secidx
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/index"
+	"repro/internal/iomodel"
 	"repro/internal/shard"
 )
 
@@ -9,6 +13,115 @@ import (
 // request unit.
 type Range struct {
 	Lo, Hi uint32
+}
+
+// FaultConfig describes a deterministic, seeded device fault schedule for
+// chaos testing a sharded index. Each per-10k rate draws a sticky per-block
+// fate from the seed, so whether a given block is faulty — and how — is
+// fixed for the life of the device and independent of read order:
+//
+//   - a transient block fails its first TransientCount charged reads with a
+//     retriable error, then heals;
+//   - a permanent block fails every charged read;
+//   - a corrupt block serves its data with one deterministic bit flipped,
+//     which the decode pipeline surfaces as a corruption error.
+//
+// Faults fire only on charged device reads — never on writes, never on
+// blocks already resident in the session or block cache — and only while
+// armed (ShardedIndex.ArmFaults). Shard i draws from Seed+i, so shards fail
+// independently like independent physical devices.
+type FaultConfig struct {
+	Seed int64
+	// TransientPer10k, PermanentPer10k and CorruptPer10k are per-10000 block
+	// probabilities of each fault class.
+	TransientPer10k int
+	// TransientCount is how many times a transient block fails before it
+	// heals (default 1).
+	TransientCount  int
+	PermanentPer10k int
+	CorruptPer10k   int
+	// ReadLatency is injected before every charged read while armed.
+	ReadLatency time.Duration
+}
+
+func (fc *FaultConfig) toInternal() *iomodel.FaultConfig {
+	if fc == nil {
+		return nil
+	}
+	return &iomodel.FaultConfig{
+		Seed:            fc.Seed,
+		TransientPer10k: fc.TransientPer10k,
+		TransientCount:  fc.TransientCount,
+		PermanentPer10k: fc.PermanentPer10k,
+		CorruptPer10k:   fc.CorruptPer10k,
+		ReadLatency:     fc.ReadLatency,
+	}
+}
+
+// RetryPolicy bounds per-shard retries of transiently failing reads. Only
+// transient device faults are retried; permanent faults, corruption and
+// cancellation fail (or degrade) immediately. The zero value retries
+// nothing.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per shard operation,
+	// including the first (values < 1 mean 1).
+	MaxAttempts int
+	// Backoff is the sleep before the first retry, doubling per attempt and
+	// capped at MaxBackoff when MaxBackoff > 0. Waits honour context
+	// cancellation.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// QueryOptions configures one fault-tolerant query execution.
+type QueryOptions struct {
+	// Retry is the per-shard retry policy for transient device faults.
+	Retry RetryPolicy
+	// AllowPartial opts into degraded answers: shards that still fail after
+	// retries are dropped from the merge and reported through the ShardError
+	// slice instead of failing the whole query. Cancellation is never
+	// degraded.
+	AllowPartial bool
+}
+
+func (qo QueryOptions) toInternal() shard.ExecOptions {
+	return shard.ExecOptions{
+		Retry: shard.RetryPolicy{
+			MaxAttempts: qo.Retry.MaxAttempts,
+			Backoff:     qo.Retry.Backoff,
+			MaxBackoff:  qo.Retry.MaxBackoff,
+		},
+		AllowPartial: qo.AllowPartial,
+	}
+}
+
+// ShardError reports one shard's failure inside a degraded (AllowPartial)
+// answer: the global row range whose answer bits are missing, how many
+// attempts were made, and the last error.
+type ShardError struct {
+	Shard            int
+	RowStart, RowEnd int64 // global rows [RowStart, RowEnd) not answered
+	Attempts         int
+	Err              error
+}
+
+func (e ShardError) Error() string { return e.toShard().Error() }
+
+func (e ShardError) Unwrap() error { return e.Err }
+
+func (e ShardError) toShard() shard.ShardError {
+	return shard.ShardError{Shard: e.Shard, RowStart: e.RowStart, RowEnd: e.RowEnd, Attempts: e.Attempts, Err: e.Err}
+}
+
+func fromShardErrors(es []shard.ShardError) []ShardError {
+	if es == nil {
+		return nil
+	}
+	out := make([]ShardError, len(es))
+	for i, e := range es {
+		out[i] = ShardError{Shard: e.Shard, RowStart: e.RowStart, RowEnd: e.RowEnd, Attempts: e.Attempts, Err: e.Err}
+	}
+	return out
 }
 
 // ShardOptions configures BuildSharded.
@@ -24,6 +137,10 @@ type ShardOptions struct {
 	// shard's device: repeated queries stop re-reading hot superblocks, and
 	// DeviceStats reports the hit/miss counters. Zero disables caching.
 	CacheBlocks int
+	// Faults, when non-nil, backs every shard with a fault-injecting device
+	// running this schedule. Builds are never faulted; call ArmFaults to
+	// start the schedule firing on query reads.
+	Faults *FaultConfig
 }
 
 // ShardedIndex partitions the column into contiguous row-range shards, each
@@ -50,6 +167,7 @@ func BuildSharded(data []uint32, sigma int, opts ShardOptions) (*ShardedIndex, e
 		Branching:   opts.Branching,
 		Stride:      opts.Stride,
 		Seed:        opts.Seed,
+		Faults:      opts.Faults.toInternal(),
 	})
 	if err != nil {
 		return nil, err
@@ -73,11 +191,30 @@ func (ix *ShardedIndex) SizeBits() int64 { return ix.sx.SizeBits() }
 // per-shard I/O; on independent devices the critical path is the largest
 // per-shard share.
 func (ix *ShardedIndex) Query(lo, hi uint32) (*Result, Stats, error) {
-	bm, st, err := ix.sx.Query(index.Range{Lo: lo, Hi: hi})
+	return ix.QueryContext(context.Background(), lo, hi)
+}
+
+// QueryContext answers like Query, honouring ctx: cancellation stops
+// scheduling shard tasks and checkpoints inside each shard's pipeline.
+func (ix *ShardedIndex) QueryContext(ctx context.Context, lo, hi uint32) (*Result, Stats, error) {
+	bm, st, err := ix.sx.QueryContext(ctx, index.Range{Lo: lo, Hi: hi})
 	if err != nil {
 		return nil, fromQS(st), err
 	}
 	return &Result{bm: bm}, fromQS(st), nil
+}
+
+// QueryExec is the fault-tolerant query entry point: per-shard bounded
+// retries for transient device faults, and (with opts.AllowPartial) a
+// degraded answer merging only the healthy shards. The returned ShardError
+// slice is non-nil exactly when the answer is partial; its entries name the
+// global row ranges whose bits are missing.
+func (ix *ShardedIndex) QueryExec(ctx context.Context, lo, hi uint32, opts QueryOptions) (*Result, Stats, []ShardError, error) {
+	bm, st, report, err := ix.sx.QueryExec(ctx, index.Range{Lo: lo, Hi: hi}, opts.toInternal())
+	if err != nil {
+		return nil, fromQS(st), nil, err
+	}
+	return &Result{bm: bm}, fromQS(st), fromShardErrors(report), nil
 }
 
 // QueryBatch answers a batch of ranges through the shared-scan batch
@@ -89,20 +226,40 @@ func (ix *ShardedIndex) Query(lo, hi uint32) (*Result, Stats, error) {
 // stats are batch-level, with the block reads avoided by sharing reported in
 // Stats.SharedSaved and DeviceStats.SharedSaved.
 func (ix *ShardedIndex) QueryBatch(ranges []Range) ([]*Result, Stats, error) {
+	return ix.QueryBatchContext(context.Background(), ranges)
+}
+
+// QueryBatchContext answers like QueryBatch, honouring ctx.
+func (ix *ShardedIndex) QueryBatchContext(ctx context.Context, ranges []Range) ([]*Result, Stats, error) {
+	out, st, _, err := ix.QueryBatchExec(ctx, ranges, QueryOptions{})
+	return out, st, err
+}
+
+// QueryBatchExec is the fault-tolerant batch entry point, the batch
+// analogue of QueryExec. With a non-nil ShardError slice, every returned
+// result is missing the reported shards' rows.
+func (ix *ShardedIndex) QueryBatchExec(ctx context.Context, ranges []Range, opts QueryOptions) ([]*Result, Stats, []ShardError, error) {
 	rs := make([]index.Range, len(ranges))
 	for i, r := range ranges {
 		rs[i] = index.Range{Lo: r.Lo, Hi: r.Hi}
 	}
-	bms, st, err := ix.sx.QueryBatch(rs)
+	bms, st, report, err := ix.sx.QueryBatchExec(ctx, rs, opts.toInternal())
 	if err != nil {
-		return nil, fromQS(st), err
+		return nil, fromQS(st), nil, err
 	}
 	out := make([]*Result, len(bms))
 	for i, bm := range bms {
 		out[i] = &Result{bm: bm}
 	}
-	return out, fromQS(st), nil
+	return out, fromQS(st), fromShardErrors(report), nil
 }
+
+// ArmFaults starts the fault schedule of ShardOptions.Faults firing on
+// query reads; it is a no-op without one. Builds always run disarmed.
+func (ix *ShardedIndex) ArmFaults() { ix.sx.ArmFaults() }
+
+// DisarmFaults stops fault injection on every shard.
+func (ix *ShardedIndex) DisarmFaults() { ix.sx.DisarmFaults() }
 
 // DeviceStats reports the cumulative block-device counters summed over all
 // shard disks, including block-cache hits and misses when CacheBlocks > 0.
@@ -116,6 +273,9 @@ type DeviceStats struct {
 	// Unlike CacheHits (residency across operations) it measures sharing
 	// within single batches.
 	SharedSaved int64
+	// FailedReads counts device read attempts that failed under an armed
+	// fault schedule, including transient failures later recovered by retry.
+	FailedReads int64
 }
 
 // DeviceStats returns the summed per-shard device counters.
@@ -127,6 +287,7 @@ func (ix *ShardedIndex) DeviceStats() DeviceStats {
 		CacheHits:   st.CacheHits,
 		CacheMisses: st.CacheMisses,
 		SharedSaved: st.SharedSaved,
+		FailedReads: st.FailedReads,
 	}
 }
 
