@@ -1,0 +1,147 @@
+package secidx
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// validContainer builds a small index of the given kind and returns its v2
+// container bytes.
+func validContainer(tb testing.TB, kind string) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed.secidx")
+	const sigma = 16
+	data := randColumn(800, sigma, 23)
+	var err error
+	switch kind {
+	case "static":
+		var ix *Index
+		if ix, err = Build(data, sigma, Options{Seed: 7, BlockBits: 2048}); err == nil {
+			err = ix.WriteFile(path)
+		}
+	case "sharded":
+		var ix *ShardedIndex
+		if ix, err = BuildSharded(data, sigma, ShardOptions{Shards: 2, Options: Options{BlockBits: 2048}}); err == nil {
+			err = ix.WriteFile(path)
+		}
+	case "append":
+		var ix *AppendIndex
+		if ix, err = BuildAppend(data, sigma, Options{Buffered: true, BlockBits: 2048}); err == nil {
+			for _, ch := range data[:50] {
+				if _, err = ix.Append(ch); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = ix.WriteFile(path)
+			}
+		}
+	case "dynamic":
+		var ix *DynamicIndex
+		if ix, err = BuildDynamic(data, sigma, Options{BlockBits: 2048}); err == nil {
+			if _, err = ix.Delete(3); err == nil {
+				err = ix.WriteFile(path)
+			}
+		}
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// FuzzLoadV2 feeds OpenFile arbitrary container bytes — seeded with valid
+// files of every kind, per-shard checksum truncations, bit flips and hostile
+// section lengths — and checks the untrusted-input contract: never a panic,
+// allocations bounded by the bytes actually present, and every input-caused
+// failure typed ErrCorrupt. Inputs that open successfully must serve a query.
+func FuzzLoadV2(f *testing.F) {
+	for _, kind := range []string{"static", "sharded", "append", "dynamic"} {
+		good := validContainer(f, kind)
+		f.Add(good)
+		f.Add(good[:len(good)-7]) // truncate the final section's payload
+		f.Add(good[:17])          // cut inside the first section header
+		flipped := append([]byte(nil), good...)
+		flipped[len(flipped)/3] ^= 0x10
+		f.Add(flipped)
+	}
+	// A well-formed header whose first section declares a giant payload.
+	hostile := make([]byte, 0, 64)
+	hostile = append(hostile, []byte("secidx02")...)
+	hostile = binary.LittleEndian.AppendUint64(hostile, 1)      // kind static
+	hostile = binary.LittleEndian.AppendUint64(hostile, 1)      // type manifest
+	hostile = binary.LittleEndian.AppendUint64(hostile, 0)      // shard
+	hostile = binary.LittleEndian.AppendUint64(hostile, 1<<50)  // payload length
+	hostile = binary.LittleEndian.AppendUint64(hostile, 0)      // pad
+	hostile = binary.LittleEndian.AppendUint64(hostile, 0xbeef) // checksum
+	f.Add(hostile)
+	f.Add([]byte("secidx02"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.secidx")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip(err)
+		}
+		op, err := OpenFile(path, OpenOptions{VerifyImages: true})
+		if err != nil {
+			// The file bytes are the only failure source here, so the typed
+			// sentinel is mandatory.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("input-caused OpenFile error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		defer op.Close()
+		// Whatever opened must answer a query without panicking.
+		switch {
+		case op.Static != nil:
+			_, _, _ = op.Static.Query(0, 3)
+		case op.Sharded != nil:
+			_, _, _ = op.Sharded.Query(0, 3)
+		case op.Append != nil:
+			_, _, _ = op.Append.Query(0, 3)
+		case op.Dynamic != nil:
+			_, _, _ = op.Dynamic.Query(0, 3)
+		default:
+			t.Fatal("OpenFile returned no index and no error")
+		}
+	})
+}
+
+// TestOpenFileHostileSectionBoundedAlloc declares sections whose lengths vastly
+// exceed the file: Parse must reject them against the real size instead of
+// allocating what the header claims.
+func TestOpenFileHostileSectionBoundedAlloc(t *testing.T) {
+	b := make([]byte, 0, 64)
+	b = append(b, []byte("secidx02")...)
+	b = binary.LittleEndian.AppendUint64(b, 1)
+	b = binary.LittleEndian.AppendUint64(b, 1)     // type manifest
+	b = binary.LittleEndian.AppendUint64(b, 0)     // shard
+	b = binary.LittleEndian.AppendUint64(b, 1<<50) // payload length: 1 PiB
+	b = binary.LittleEndian.AppendUint64(b, 0)     // pad
+	b = binary.LittleEndian.AppendUint64(b, 0)     // checksum
+	path := filepath.Join(t.TempDir(), "hostile.secidx")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := OpenFile(path, OpenOptions{})
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile section error = %v, want ErrCorrupt", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Fatalf("hostile section allocated %d bytes", grew)
+	}
+}

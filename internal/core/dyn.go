@@ -115,6 +115,12 @@ type AppendIndex struct {
 	// oracle (writeMemberChainUnfused); set by differential tests that grow
 	// twin indexes through both write paths.
 	unfusedRebuild bool
+
+	// readonly marks an index reopened from a serialised file image: queries
+	// run from the device, but Append is rejected — the rebuild machinery
+	// needs the in-memory position mirror (byChar) that only the building
+	// process holds, and the device itself is a frozen file.
+	readonly bool
 }
 
 // BuildAppendIndex constructs the structure over an initial column (which

@@ -17,6 +17,9 @@ import (
 // O(lg n / b) I/Os.
 func (ax *AppendIndex) Append(ch uint32) (index.QueryStats, error) {
 	var stats index.QueryStats
+	if ax.readonly {
+		return stats, fmt.Errorf("core: append index reopened from a file is read-only")
+	}
 	if int(ch) >= ax.sigma {
 		return stats, fmt.Errorf("core: character %d outside alphabet [0,%d)", ch, ax.sigma)
 	}

@@ -1,0 +1,540 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/hashutil"
+	"repro/internal/iomodel"
+)
+
+// Serialisation of the core structures for the v2 container. The guiding
+// rule is minimality: everything deterministically recomputable from the
+// build parameters is recomputed at open, and only what is not — extent
+// placement, hash-set cardinalities, block assignments, chain state — is
+// written. The static tree's topology is a pure function of (counts,
+// branching) (see treeFromCounts), the hash functions regenerate from the
+// seed, and materialised depths from (height, stride); so a static shard's
+// metadata is O(σ + members) varints regardless of n.
+//
+// Decoders treat their payload as untrusted even though the container
+// checksummed it (integrity is not authenticity): every field is bounded,
+// extents are checked against the device's allocated size, and structural
+// cross-checks (counts summing to n, children partitioning their parent,
+// member counts matching the recomputed skeleton) reject crafted files
+// before any query code runs.
+
+// maxSkeletonDepth bounds decoded tree heights and depths: real heights are
+// ⌈log_c n⌉ ≤ 40-ish, and the recursive skeleton decoder must not be driven
+// into stack exhaustion by a crafted file.
+const maxSkeletonDepth = 512
+
+// maxRebuildCount bounds decoded rebuild counters.
+const maxRebuildCount = 1 << 40
+
+// EncodeMeta appends the static (Theorem 2+3) index's metadata to e. The
+// device image is serialised separately; the metadata references it by
+// extent offsets only.
+func (ax *Approx) EncodeMeta(e *container.Encoder) error {
+	tr := ax.tree
+	for a := 0; a < tr.sigma; a++ {
+		e.U(uint64(tr.prefix[a+1] - tr.prefix[a]))
+	}
+	e.U(uint64(len(ax.levels)))
+	for _, lv := range ax.levels {
+		e.U(uint64(lv.depth))
+		e.U(uint64(len(lv.members)))
+		var base int64
+		if len(lv.members) > 0 {
+			base = lv.members[0].ext.Off
+		}
+		e.U(uint64(base))
+		off := base
+		for _, m := range lv.members {
+			// One AllocStream per level places members back to back; the
+			// decoder rebuilds offsets from the base and these lengths.
+			if m.ext.Off != off {
+				return fmt.Errorf("core: level %d members not contiguous at bit %d", lv.depth, off)
+			}
+			e.U(uint64(m.ext.Bits))
+			off += m.ext.Bits
+		}
+	}
+	e.U(uint64(ax.aExt.Off))
+	e.U(uint64(len(ax.layout.blockOf)))
+	for _, b := range ax.layout.blockOf {
+		e.U(uint64(b))
+	}
+	e.U(uint64(ax.layout.nblocks))
+	e.U(uint64(ax.k))
+	for li := range ax.levels {
+		hl := ax.hmaps[li]
+		for j := 0; j < ax.k; j++ {
+			arr := hl.perJ[j]
+			var base int64
+			if len(arr.exts) > 0 {
+				base = arr.exts[0].Off
+			}
+			e.U(uint64(base))
+			off := base
+			for _, ext := range arr.exts {
+				if ext.Off != off {
+					return fmt.Errorf("core: hash group (level %d, j=%d) not contiguous at bit %d", li, j+1, off)
+				}
+				e.U(uint64(ext.Bits))
+				off += ext.Bits
+			}
+			for _, c := range arr.cards {
+				e.U(uint64(c))
+			}
+		}
+	}
+	return nil
+}
+
+// OpenApprox reconstitutes a static index from EncodeMeta's payload, served
+// from d (typically a FileDisk over the image section). The tree, prefix
+// array, materialised-level assignment, member ranges and hash functions are
+// all recomputed; only placement and cardinalities come from the payload.
+func OpenApprox(d iomodel.Device, sigma int, opts ApproxOptions, dec *container.Decoder) (*Approx, error) {
+	opts.OptimalOptions.fill()
+	if sigma < 1 || sigma > container.MaxSigma {
+		return nil, fmt.Errorf("core: alphabet size %d out of range", sigma)
+	}
+	tail := d.AllocatedBits()
+	bb := int64(d.BlockBits())
+	if tail <= 0 {
+		return nil, fmt.Errorf("core: empty device image")
+	}
+	totalBlocks := (tail + bb - 1) / bb
+	counts := make([]int64, sigma)
+	for a := range counts {
+		counts[a] = int64(dec.UN(container.MaxRows))
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	tr, err := treeFromCounts(counts, opts.Branching)
+	if err != nil {
+		return nil, err
+	}
+	n := tr.n
+	if n > container.MaxRows {
+		return nil, fmt.Errorf("core: row count %d out of range", n)
+	}
+	ox := &Optimal{disk: d, tree: tr, opts: opts.OptimalOptions}
+
+	// Recompute the level assignment exactly as BuildOptimal does.
+	depths := materialDepths(tr.Height, opts.Stride)
+	levelOf := func(v *Node) int {
+		i := sort.SearchInts(depths, v.Depth)
+		if v.IsLeaf() {
+			return i
+		}
+		if i < len(depths) && depths[i] == v.Depth {
+			return i
+		}
+		return -1
+	}
+	byLevel := make([][]*Node, len(depths))
+	for _, v := range tr.Nodes {
+		if li := levelOf(v); li >= 0 {
+			byLevel[li] = append(byLevel[li], v)
+		}
+	}
+	if got := int(dec.UN(uint64(maxSkeletonDepth))); got != len(depths) {
+		return nil, fmt.Errorf("core: level count %d, recomputed %d", got, len(depths))
+	}
+	for li, depth := range depths {
+		if got := int(dec.UN(uint64(maxSkeletonDepth))); got != depth {
+			return nil, fmt.Errorf("core: level %d depth %d, recomputed %d", li, got, depth)
+		}
+		if got := int(dec.UN(uint64(len(byLevel[li])))); got != len(byLevel[li]) {
+			return nil, fmt.Errorf("core: level %d member count %d, recomputed %d", li, got, len(byLevel[li]))
+		}
+		lv := matLevel{depth: depth}
+		off := int64(dec.UN(uint64(tail)))
+		for _, v := range byLevel[li] {
+			bits := int64(dec.UN(uint64(tail)))
+			if off > tail-bits {
+				return nil, fmt.Errorf("core: level %d member extent [%d,+%d) exceeds image of %d bits", li, off, bits, tail)
+			}
+			lv.members = append(lv.members, member{
+				start: v.Start, end: v.End,
+				ext:  iomodel.Extent{Off: off, Bits: bits},
+				card: v.End - v.Start,
+			})
+			off += bits
+		}
+		ox.levels = append(ox.levels, lv)
+		ox.dirBits += int64(len(lv.members)) * 128
+	}
+	ox.aExt = iomodel.Extent{Off: int64(dec.UN(uint64(tail))), Bits: int64(sigma+1) * 64}
+	if ox.aExt.End() > tail {
+		return nil, fmt.Errorf("core: prefix array extent exceeds image")
+	}
+	if got := int(dec.UN(uint64(len(tr.Nodes)))); got != len(tr.Nodes) {
+		return nil, fmt.Errorf("core: node count %d, recomputed %d", got, len(tr.Nodes))
+	}
+	blockOf := make([]iomodel.BlockID, len(tr.Nodes))
+	for i := range blockOf {
+		blockOf[i] = iomodel.BlockID(dec.UN(uint64(totalBlocks - 1)))
+	}
+	ox.layout = &treeLayout{disk: d, blockOf: blockOf, nblocks: int(dec.UN(uint64(totalBlocks)))}
+
+	ax := &Approx{Optimal: ox, seed: opts.Seed}
+	ax.k = maxJ(n)
+	if got := int(dec.UN(64)); got != ax.k {
+		return nil, fmt.Errorf("core: hash level count %d, recomputed %d", got, ax.k)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for j := 1; j <= ax.k; j++ {
+		ax.hs = append(ax.hs, hashutil.NewSplitXOR(rng, 1<<uint(j)))
+	}
+	for li := range ox.levels {
+		nm := len(ox.levels[li].members)
+		hl := hashLevel{perJ: make([]hashArray, ax.k)}
+		for j := 0; j < ax.k; j++ {
+			arr := &hl.perJ[j]
+			off := int64(dec.UN(uint64(tail)))
+			for i := 0; i < nm; i++ {
+				bits := int64(dec.UN(uint64(tail)))
+				if off > tail-bits {
+					return nil, fmt.Errorf("core: hash extent exceeds image")
+				}
+				arr.exts = append(arr.exts, iomodel.Extent{Off: off, Bits: bits})
+				off += bits
+			}
+			for i := 0; i < nm; i++ {
+				arr.cards = append(arr.cards, int64(dec.UN(container.MaxRows)))
+			}
+		}
+		ax.hmaps = append(ax.hmaps, hl)
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return ax, nil
+}
+
+// EncodeMeta appends the append-index (Theorem 4/5) metadata to e: counts,
+// the skeleton with its historical build weights, per-member chain state and
+// buffers, the block layout and the pending root buffer.
+func (ax *AppendIndex) EncodeMeta(e *container.Encoder) error {
+	e.U(uint64(ax.n))
+	e.U(uint64(ax.buildN))
+	for _, c := range ax.counts {
+		e.U(uint64(c))
+	}
+	e.U(uint64(ax.RebuildCount))
+	e.U(uint64(ax.GlobalRebuildCount))
+	e.U(uint64(ax.height))
+	e.U(uint64(len(ax.depths)))
+	for _, d := range ax.depths {
+		e.U(uint64(d))
+	}
+	// Skeleton, preorder. Spans reconstruct lo/hi (children partition their
+	// parent); current weights reconstruct from counts (the weight invariant:
+	// weight = Σ counts[a]+1 over the span); buildWeight is historical state.
+	var encNode func(v *dynNode)
+	encNode = func(v *dynNode) {
+		e.U(uint64(v.hi - v.lo))
+		e.U(uint64(v.buildWeight))
+		e.U(uint64(len(v.children)))
+		for _, c := range v.children {
+			encNode(c)
+		}
+	}
+	encNode(ax.root)
+	for li := range ax.levels {
+		e.U(uint64(len(ax.levels[li])))
+		for _, m := range ax.levels[li] {
+			e.U(uint64(m.card))
+			e.U(uint64(m.lastPos + 1))
+			e.U(uint64(m.chain.Bits()))
+			blocks := m.chain.BlockList()
+			e.U(uint64(len(blocks)))
+			for _, b := range blocks {
+				e.U(uint64(b))
+			}
+			if ax.opts.Buffered {
+				e.U(uint64(m.buf))
+				e.U(uint64(m.bufN))
+			}
+		}
+	}
+	var encBlk func(v *dynNode)
+	encBlk = func(v *dynNode) {
+		if blk, ok := ax.nodeBlk[v]; ok {
+			e.U(uint64(blk) + 1)
+		} else {
+			e.U(0)
+		}
+		for _, c := range v.children {
+			encBlk(c)
+		}
+	}
+	encBlk(ax.root)
+	e.U(uint64(ax.nBlocks))
+	e.U(uint64(len(ax.rootBuf)))
+	for _, en := range ax.rootBuf {
+		e.U(uint64(en.ch))
+		e.U(uint64(en.pos))
+	}
+	return nil
+}
+
+// OpenAppendIndex reconstitutes an append index from EncodeMeta's payload,
+// served read-only from d: queries run entirely from the device (chains,
+// buffers and the pending root buffer), but Append returns an error — the
+// rebuild machinery needs the in-memory position mirror that only the
+// building process has.
+func OpenAppendIndex(d iomodel.Device, sigma int, opts AppendOptions, dec *container.Decoder) (*AppendIndex, error) {
+	opts.fill()
+	if opts.Branching <= 4 {
+		return nil, fmt.Errorf("core: branching parameter %d must exceed 4", opts.Branching)
+	}
+	if sigma < 1 || sigma > container.MaxSigma {
+		return nil, fmt.Errorf("core: alphabet size %d out of range", sigma)
+	}
+	tail := d.AllocatedBits()
+	bb := int64(d.BlockBits())
+	if tail <= 0 {
+		return nil, fmt.Errorf("core: empty device image")
+	}
+	totalBlocks := (tail + bb - 1) / bb
+	ax := &AppendIndex{
+		disk:     d,
+		opts:     opts,
+		sigma:    sigma,
+		byChar:   make([][]int64, sigma),
+		readonly: true,
+	}
+	ax.bufCap = d.BlockBits() / dynEntryBits
+	if opts.Buffered && ax.bufCap < 4 {
+		return nil, fmt.Errorf("core: block size %d bits holds fewer than 4 buffered appends", d.BlockBits())
+	}
+	ax.n = int64(dec.UN(container.MaxRows))
+	ax.buildN = int64(dec.UN(uint64(ax.n)))
+	ax.counts = make([]int64, sigma)
+	var sum int64
+	for a := range ax.counts {
+		ax.counts[a] = int64(dec.UN(container.MaxRows))
+		sum += ax.counts[a]
+	}
+	if dec.Err() == nil && sum != ax.n {
+		return nil, fmt.Errorf("core: counts sum to %d, header says %d rows", sum, ax.n)
+	}
+	ax.RebuildCount = int(dec.UN(maxRebuildCount))
+	ax.GlobalRebuildCount = int(dec.UN(maxRebuildCount))
+	ax.height = int(dec.UN(maxSkeletonDepth))
+	nd := int(dec.UN(maxSkeletonDepth))
+	if dec.Err() == nil && nd < 1 {
+		return nil, fmt.Errorf("core: no materialised depths")
+	}
+	prev := 0
+	for i := 0; i < nd; i++ {
+		dep := int(dec.UN(maxSkeletonDepth))
+		if dec.Err() == nil && dep <= prev {
+			return nil, fmt.Errorf("core: materialised depths not increasing at %d", dep)
+		}
+		ax.depths = append(ax.depths, dep)
+		prev = dep
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+
+	// Skeleton: spans give lo/hi, counts give current weights.
+	cpre := make([]int64, sigma+1)
+	for a, c := range ax.counts {
+		cpre[a+1] = cpre[a] + c
+	}
+	var all []*dynNode
+	var decNode func(parent *dynNode, depth int, lo uint32) (*dynNode, error)
+	decNode = func(parent *dynNode, depth int, lo uint32) (*dynNode, error) {
+		if depth > maxSkeletonDepth {
+			return nil, fmt.Errorf("core: skeleton deeper than %d", maxSkeletonDepth)
+		}
+		span := dec.UN(uint64(sigma-1) - uint64(lo))
+		hi := lo + uint32(span)
+		v := &dynNode{depth: depth, lo: lo, hi: hi, parent: parent}
+		v.weight = cpre[hi+1] - cpre[lo] + int64(hi-lo) + 1
+		v.buildWeight = int64(dec.UN(container.MaxRows + container.MaxSigma))
+		nc := int(dec.UN(uint64(4 * opts.Branching)))
+		if err := dec.Err(); err != nil {
+			return nil, err
+		}
+		if span == 0 && nc != 0 {
+			return nil, fmt.Errorf("core: single-character node with %d children", nc)
+		}
+		if nc > int(span)+1 {
+			return nil, fmt.Errorf("core: %d children over %d characters", nc, span+1)
+		}
+		all = append(all, v)
+		clo := lo
+		for i := 0; i < nc; i++ {
+			if clo > hi {
+				return nil, fmt.Errorf("core: children overflow [%d,%d]", lo, hi)
+			}
+			c, err := decNode(v, depth+1, clo)
+			if err != nil {
+				return nil, err
+			}
+			v.children = append(v.children, c)
+			clo = c.hi + 1
+		}
+		if nc > 0 && clo != hi+1 {
+			return nil, fmt.Errorf("core: children of [%d,%d] end at %d", lo, hi, clo-1)
+		}
+		return v, nil
+	}
+	root, err := decNode(nil, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if root.hi != uint32(sigma-1) {
+		return nil, fmt.Errorf("core: skeleton covers [0,%d], alphabet is [0,%d)", root.hi, sigma)
+	}
+	ax.root = root
+	for _, v := range all {
+		if v.depth > ax.height {
+			return nil, fmt.Errorf("core: node at depth %d exceeds declared height %d", v.depth, ax.height)
+		}
+	}
+
+	// Members: recompute the per-level node sets from the skeleton exactly as
+	// the rebuilders do (memberLevelOf + sort by lo), then attach the
+	// serialised chain state in that order.
+	ax.levels = make([][]*dynMember, len(ax.depths))
+	for _, v := range all {
+		if li := ax.memberLevelOf(v); li >= 0 {
+			ax.levels[li] = append(ax.levels[li], &dynMember{node: v, level: li, lastPos: -1})
+		}
+	}
+	for li := range ax.levels {
+		slices.SortFunc(ax.levels[li], func(a, b *dynMember) int { return cmp.Compare(a.node.lo, b.node.lo) })
+		if got := int(dec.UN(uint64(len(ax.levels[li])))); got != len(ax.levels[li]) {
+			return nil, fmt.Errorf("core: level %d member count %d, recomputed %d", li, got, len(ax.levels[li]))
+		}
+		for _, m := range ax.levels[li] {
+			m.card = int64(dec.UN(container.MaxRows))
+			m.lastPos = int64(dec.UN(1<<48)) - 1
+			bits := int64(dec.UN(uint64(tail)))
+			nb := int(dec.UN(uint64(totalBlocks)))
+			blocks := make([]iomodel.BlockID, 0, nb)
+			for i := 0; i < nb; i++ {
+				blocks = append(blocks, iomodel.BlockID(dec.UN(uint64(totalBlocks-1))))
+			}
+			if err := dec.Err(); err != nil {
+				return nil, err
+			}
+			chain, err := iomodel.OpenChainFile(d, blocks, bits)
+			if err != nil {
+				return nil, err
+			}
+			m.chain = chain
+			if opts.Buffered {
+				m.buf = iomodel.BlockID(dec.UN(uint64(totalBlocks - 1)))
+				m.bufN = int(dec.UN(uint64(ax.bufCap)))
+			}
+		}
+	}
+	ax.nodeBlk = make(map[*dynNode]iomodel.BlockID, len(all))
+	for _, v := range all { // all is preorder, matching encBlk
+		if raw := dec.UN(uint64(totalBlocks)); raw > 0 {
+			ax.nodeBlk[v] = iomodel.BlockID(raw - 1)
+		}
+	}
+	ax.nBlocks = int(dec.UN(uint64(totalBlocks)))
+	nrb := int(dec.UN(uint64(ax.bufCap)))
+	for i := 0; i < nrb; i++ {
+		ch := uint32(dec.UN(uint64(sigma) - 1))
+		var pos int64
+		if ax.n > 0 {
+			pos = int64(dec.UN(uint64(ax.n) - 1))
+		} else {
+			return nil, fmt.Errorf("core: pending appends with zero rows")
+		}
+		ax.rootBuf = append(ax.rootBuf, dynEntry{ch: ch, pos: pos})
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return ax, nil
+}
+
+// EncodeMeta appends the dynamic (Theorem 7) index's logical snapshot to e:
+// the current string (deleted rows as ∞ markers) and the rebuild counter.
+// The Theorem 7 structure is rebuilt, not remapped, at open — its buffered
+// point indexes and position translator are write-active even on the query
+// path's maintenance side, so a frozen file image cannot serve it; the
+// snapshot is the paper's own global-rebuilding primitive applied at the
+// serialisation boundary.
+func (dx *Dynamic) EncodeMeta(e *container.Encoder) error {
+	e.U(uint64(len(dx.x)))
+	for _, ch := range dx.x {
+		e.U(uint64(ch))
+	}
+	e.U(uint64(dx.GlobalRebuildCount))
+	return nil
+}
+
+// OpenDynamic reconstitutes a dynamic index from EncodeMeta's payload onto
+// the writable device d by replaying a global rebuild and re-marking the
+// deleted positions in a fresh position translator. Answers are identical to
+// the serialised index's; the rebuild clock restarts (updatesSinceBuild is
+// zero after a global rebuild, by definition).
+func OpenDynamic(d iomodel.Device, sigma int, opts DynamicOptions, dec *container.Decoder) (*Dynamic, error) {
+	opts.fill()
+	if opts.Branching <= 4 {
+		return nil, fmt.Errorf("core: branching parameter %d must exceed 4", opts.Branching)
+	}
+	if sigma < 1 || sigma > container.MaxSigma {
+		return nil, fmt.Errorf("core: alphabet size %d out of range", sigma)
+	}
+	n := dec.UN(container.MaxRows)
+	dx := &Dynamic{disk: d, opts: opts, sigma: sigma, sigmaEff: sigma + 1}
+	dx.counts = make([]int64, dx.sigmaEff)
+	cap0 := n
+	if cap0 > 1<<16 {
+		cap0 = 1 << 16 // growth tracks bytes actually decoded, not the header
+	}
+	dx.x = make([]uint32, 0, cap0)
+	for i := uint64(0); i < n; i++ {
+		ch := uint32(dec.UN(uint64(sigma))) // sigma itself is the ∞ marker
+		dx.x = append(dx.x, ch)
+		dx.counts[ch]++
+		if ch == uint32(sigma) {
+			dx.deleted++
+		}
+	}
+	grc := int(dec.UN(maxRebuildCount))
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	dx.n = int64(len(dx.x))
+	if err := dx.rebuild(); err != nil {
+		return nil, err
+	}
+	trans, err := NewPositionTranslator(d, dx.n)
+	if err != nil {
+		return nil, err
+	}
+	dx.trans = trans
+	for i, ch := range dx.x {
+		if ch == uint32(sigma) {
+			if _, err := trans.Delete(int64(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	dx.GlobalRebuildCount = grc
+	dx.updatesSinceBuild = 0
+	d.ResetStats()
+	return dx, nil
+}

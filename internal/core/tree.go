@@ -91,15 +91,26 @@ func BuildTree(col workload.Column, c int) (*Tree, error) {
 	for a := 0; a < col.Sigma; a++ {
 		t.prefix[a+1] = t.prefix[a] + int64(len(t.byChar[a]))
 	}
+	if err := t.finish(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// finish builds the node structure over the already-populated prefix array
+// and assigns preorder IDs. Topology is a pure function of (prefix, C): the
+// recursive build consults characters only through charOf, which reads
+// prefix — this is what makes the tree reconstructible from counts alone.
+func (t *Tree) finish() error {
 	// Height: all leaves of the unpruned tree sit at depth h with node
 	// weight Θ(n/c^d) at depth d.
-	h := int(math.Ceil(math.Log(float64(n)) / math.Log(float64(c))))
+	h := int(math.Ceil(math.Log(float64(t.n)) / math.Log(float64(t.C))))
 	if h < 1 {
 		h = 1
 	}
-	t.Root = t.build(nil, 0, 0, n, h)
+	t.Root = t.build(nil, 0, 0, t.n, h)
 	if t.Root == nil {
-		return nil, fmt.Errorf("core: tree construction failed")
+		return fmt.Errorf("core: tree construction failed")
 	}
 	var assign func(v *Node)
 	assign = func(v *Node) {
@@ -113,6 +124,46 @@ func BuildTree(col workload.Column, c int) (*Tree, error) {
 		}
 	}
 	assign(t.Root)
+	return nil
+}
+
+// treeFromCounts rebuilds the pruned weight-balanced tree from per-character
+// occurrence counts alone — the reopen path for serialised static indexes.
+// The returned tree is topologically identical to BuildTree's over any
+// column with these counts, but carries no position lists (byChar is empty):
+// the reopened query path reads positions from the on-device bitmaps, and
+// everything else it touches — prefix, node ranges, charOf — depends only on
+// counts.
+func treeFromCounts(counts []int64, c int) (*Tree, error) {
+	if c <= 4 {
+		return nil, fmt.Errorf("core: branching parameter %d must exceed 4", c)
+	}
+	sigma := len(counts)
+	if sigma == 0 {
+		return nil, fmt.Errorf("core: empty alphabet")
+	}
+	var n int64
+	for a, cnt := range counts {
+		if cnt < 0 {
+			return nil, fmt.Errorf("core: negative count for character %d", a)
+		}
+		if n > math.MaxInt64-cnt {
+			return nil, fmt.Errorf("core: row count overflow")
+		}
+		n += cnt
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty column")
+	}
+	t := &Tree{C: c, n: n, sigma: sigma}
+	t.byChar = make([][]int64, sigma)
+	t.prefix = make([]int64, sigma+1)
+	for a, cnt := range counts {
+		t.prefix[a+1] = t.prefix[a] + cnt
+	}
+	if err := t.finish(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 

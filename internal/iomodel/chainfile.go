@@ -21,11 +21,30 @@ func NewChainFile(d Device) *ChainFile {
 	return &ChainFile{d: d}
 }
 
+// OpenChainFile reconstitutes a chained file from its serialised state: the
+// ordered block list and the logical bit length. The bits must fit the
+// blocks (bits in ((len(blocks)-1)·B, len(blocks)·B], or 0 with no blocks).
+func OpenChainFile(d Device, blocks []BlockID, bits int64) (*ChainFile, error) {
+	bb := int64(d.BlockBits())
+	if bits < 0 || bits > int64(len(blocks))*bb {
+		return nil, fmt.Errorf("iomodel: chain of %d bits does not fit %d blocks", bits, len(blocks))
+	}
+	if len(blocks) > 0 && bits <= int64(len(blocks)-1)*bb {
+		return nil, fmt.Errorf("iomodel: chain of %d bits leaves trailing empty blocks (%d blocks)", bits, len(blocks))
+	}
+	return &ChainFile{d: d, blocks: append([]BlockID(nil), blocks...), bits: bits}, nil
+}
+
 // Bits returns the logical length in bits.
 func (f *ChainFile) Bits() int64 { return f.bits }
 
 // Blocks returns the number of blocks owned by the file.
 func (f *ChainFile) Blocks() int { return len(f.blocks) }
+
+// BlockList returns a copy of the ordered block chain, for serialisation.
+func (f *ChainFile) BlockList() []BlockID {
+	return append([]BlockID(nil), f.blocks...)
+}
 
 // Append appends the contents of w at the tail, charging I/Os to t for the
 // tail block and any newly allocated blocks.

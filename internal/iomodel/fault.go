@@ -222,6 +222,17 @@ func NewFaultDisk(cfg Config, fc FaultConfig) *FaultDisk {
 	return fd
 }
 
+// NewFaultDiskOn wraps an existing Disk with a fault schedule, leaving the
+// disk's storage and counters untouched. This is how a file-backed device
+// gains fault injection: the schedule's verdict is consulted before the real
+// read, so an injected failure transfers nothing from the file.
+func NewFaultDiskOn(d *Disk, fc FaultConfig) (*FaultDisk, error) {
+	if err := fc.Validate(); err != nil {
+		return nil, err
+	}
+	return &FaultDisk{Disk: d, sched: newFaultSched(fc)}, nil
+}
+
 // Arm enables the fault schedule for subsequently opened sessions and reads.
 func (fd *FaultDisk) Arm() { fd.sched.armed.Store(true) }
 

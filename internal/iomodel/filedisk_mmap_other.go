@@ -1,0 +1,15 @@
+//go:build !unix
+
+package iomodel
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable off unix; OpenFileDisk's ModeMmap reports it.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errors.New("mmap unsupported on this platform")
+}
+
+func munmapFile(_ []byte) error { return nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package iomodel
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the first length bytes of f read-only.
+func mmapFile(f *os.File, length int64) ([]byte, error) {
+	if length <= 0 {
+		return nil, nil
+	}
+	if length > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("mapping of %d bytes exceeds address space", length)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(m []byte) error {
+	if len(m) == 0 {
+		return nil
+	}
+	return syscall.Munmap(m)
+}

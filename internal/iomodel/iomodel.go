@@ -98,6 +98,10 @@ type Disk struct {
 	freed    int64 // number of blocks currently on the free list
 	stats    Stats
 	cache    *blockCache // nil unless Config.CacheBlocks > 0
+	// file, when non-nil, backs the device with a region of a real file: buf
+	// becomes a block mirror (or mmap window) populated on first charged read,
+	// and the device is read-only. See FileDisk.
+	file *fileBacking
 	// touches recycles Touch sessions: the per-session block sets are maps,
 	// and clearing them on Close is far cheaper than reallocating them for
 	// every query in the steady-state pooled pipeline. batches does the same
@@ -108,6 +112,11 @@ type Disk struct {
 
 // ErrInvalidRange reports an out-of-bounds disk access.
 var ErrInvalidRange = errors.New("iomodel: access outside allocated storage")
+
+// ErrReadOnly reports a write or allocation on a file-backed device. A
+// FileDisk serves a frozen on-disk image; mutating it would desynchronise the
+// mirror from the file.
+var ErrReadOnly = errors.New("iomodel: file-backed device is read-only")
 
 // maxBlockBits bounds BlockBits so derived quantities (block offsets, the
 // default MemBits of 1024 blocks) cannot overflow int64 arithmetic even on
@@ -212,6 +221,23 @@ func (d *Disk) AllocatedBits() int64 { return d.tailBits }
 // usage reported by the experiments.
 func (d *Disk) UsedBits() int64 { return d.tailBits - d.freed*int64(d.cfg.BlockBits) }
 
+// Image returns the device's allocated size in bits and its raw backing
+// bytes, exactly ⌈tailBits/8⌉ of them. The slice aliases live storage:
+// callers serialising the device must finish with it (or copy) before any
+// further allocation or write.
+func (d *Disk) Image() (tailBits int64, data []byte) {
+	d.ensure(d.tailBits)
+	return d.tailBits, d.buf[:(d.tailBits+7)/8]
+}
+
+// FreeList returns a copy of the device's free list, for serialisation.
+func (d *Disk) FreeList() []BlockID {
+	return append([]BlockID(nil), d.free...)
+}
+
+// FileBacked reports whether the device serves a read-only file image.
+func (d *Disk) FileBacked() bool { return d.file != nil }
+
 func (d *Disk) ensure(bits int64) {
 	need := int((bits + 7) / 8)
 	for len(d.buf) < need {
@@ -273,8 +299,12 @@ func (d *Disk) getBits(pos int64, n int) uint64 {
 
 // AllocStream appends the contents of w to the device with no alignment and
 // returns the extent. Adjacent AllocStream calls share blocks, which is how
-// the paper's concatenated per-level bitmap layouts are realised.
+// the paper's concatenated per-level bitmap layouts are realised. Panics with
+// ErrReadOnly on a file-backed device (reopened indexes never allocate).
 func (d *Disk) AllocStream(w *bitio.Writer) Extent {
+	if d.file != nil {
+		panic(ErrReadOnly)
+	}
 	ext := Extent{Off: d.tailBits, Bits: int64(w.Len())}
 	d.ensure(d.tailBits + ext.Bits)
 	if d.tailBits&7 == 0 {
@@ -300,8 +330,12 @@ func (d *Disk) AllocStream(w *bitio.Writer) Extent {
 	return ext
 }
 
-// AlignToBlock pads the allocation tail to a block boundary.
+// AlignToBlock pads the allocation tail to a block boundary. Panics with
+// ErrReadOnly on a file-backed device.
 func (d *Disk) AlignToBlock() {
+	if d.file != nil {
+		panic(ErrReadOnly)
+	}
 	bb := int64(d.cfg.BlockBits)
 	if rem := d.tailBits % bb; rem != 0 {
 		d.tailBits += bb - rem
@@ -310,7 +344,11 @@ func (d *Disk) AlignToBlock() {
 }
 
 // AllocBlock returns a zeroed whole block, reusing freed blocks if possible.
+// Panics with ErrReadOnly on a file-backed device.
 func (d *Disk) AllocBlock() BlockID {
+	if d.file != nil {
+		panic(ErrReadOnly)
+	}
 	if n := len(d.free); n > 0 {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
@@ -329,8 +367,12 @@ func (d *Disk) AllocBlock() BlockID {
 	return id
 }
 
-// FreeBlock returns a block to the free list.
+// FreeBlock returns a block to the free list. Panics with ErrReadOnly on a
+// file-backed device.
 func (d *Disk) FreeBlock(id BlockID) {
+	if d.file != nil {
+		panic(ErrReadOnly)
+	}
 	d.free = append(d.free, id)
 	d.freed++
 	if d.cache != nil {
@@ -469,6 +511,20 @@ func (t *Touch) markRead(from, to BlockID, faulty bool) ([]BlockID, error) {
 				t.corrupt = append(t.corrupt, b)
 			}
 		}
+		// File-backed devices serve every charged read with a real positional
+		// read: the first read of a block populates the in-memory mirror, and
+		// later charged reads of the same block still pread (into discarded
+		// scratch) so the device's real I/O count equals its charged count by
+		// construction. The load sits after the fault consult — a failed read
+		// transfers nothing — and before the charge, so a real read error
+		// aborts the access exactly like an injected permanent fault.
+		if fb := t.d.file; fb != nil {
+			if err := fb.load(t.d, b); err != nil {
+				t.failed++
+				t.d.stats.FailedReads.Add(1)
+				return nil, err
+			}
+		}
 		t.reads[b] = struct{}{}
 		if c := t.d.cache; c != nil {
 			t.d.stats.CacheMisses.Add(1)
@@ -527,6 +583,9 @@ func (t *Touch) WriteBits(pos int64, v uint64, n int) error {
 	}
 	if pos < 0 || pos+int64(n) > t.d.tailBits {
 		return ErrInvalidRange
+	}
+	if t.d.file != nil {
+		return ErrReadOnly
 	}
 	if n == 0 {
 		return nil
@@ -596,6 +655,9 @@ func (t *Touch) WriteStream(ext Extent, w *bitio.Writer) error {
 	}
 	if ext.Off < 0 || ext.End() > t.d.tailBits {
 		return ErrInvalidRange
+	}
+	if t.d.file != nil {
+		return ErrReadOnly
 	}
 	if w.Len() == 0 {
 		return nil

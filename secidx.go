@@ -22,7 +22,9 @@ package secidx
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cbitmap"
 	"repro/internal/core"
@@ -58,6 +60,17 @@ func fromQS(s index.QueryStats) Stats {
 		Reads: s.Reads, Writes: s.Writes, BitsRead: s.BitsRead, SharedSaved: s.SharedSaved,
 		FailedReads: s.FailedReads, RetriedReads: s.RetriedReads,
 	}
+}
+
+// add accumulates t into s (used by retrying executors, where every attempt's
+// cost counts).
+func (s *Stats) add(t Stats) {
+	s.Reads += t.Reads
+	s.Writes += t.Writes
+	s.BitsRead += t.BitsRead
+	s.SharedSaved += t.SharedSaved
+	s.FailedReads += t.FailedReads
+	s.RetriedReads += t.RetriedReads
 }
 
 // Result is a query answer: a compressed set of row ids.
@@ -127,6 +140,10 @@ type Options struct {
 	Seed int64
 	// Buffered selects Theorem 5 (buffered appends) for AppendIndex.
 	Buffered bool
+	// Faults, when non-nil, wraps the device in a deterministic fault
+	// injector. The schedule is built disarmed: construction never faults;
+	// call ArmFaults on the built index to start injecting.
+	Faults *FaultConfig
 }
 
 // disk validates the device parameters and creates the simulated disk.
@@ -140,11 +157,30 @@ func (o Options) disk() (*iomodel.Disk, error) {
 	return d, nil
 }
 
+// device creates the simulated disk and, when o.Faults is set, its fault
+// wrapper. dev is what the index runs on: the fault disk when present, the
+// raw disk otherwise.
+func (o Options) device() (dev iomodel.Device, d *iomodel.Disk, fd *iomodel.FaultDisk, err error) {
+	d, err = o.disk()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if o.Faults == nil {
+		return d, d, nil, nil
+	}
+	fd, err = iomodel.NewFaultDiskOn(d, *o.Faults.toInternal())
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("secidx: %w", err)
+	}
+	return fd, d, fd, nil
+}
+
 // Index is the static secondary index of Theorems 2 and 3.
 type Index struct {
 	ax     *core.Approx
 	disk   *iomodel.Disk
-	column []uint32 // retained for serialisation (WriteTo)
+	fd     *iomodel.FaultDisk // non-nil iff built with Options.Faults
+	column []uint32           // retained for serialisation (WriteTo)
 	opts   Options
 }
 
@@ -153,18 +189,34 @@ func Build(data []uint32, sigma int, opts Options) (*Index, error) {
 	if sigma < 1 {
 		return nil, fmt.Errorf("secidx: alphabet size %d", sigma)
 	}
-	d, err := opts.disk()
+	dev, d, fd, err := opts.device()
 	if err != nil {
 		return nil, err
 	}
-	ax, err := core.BuildApprox(d, workload.Column{X: data, Sigma: sigma}, core.ApproxOptions{
+	ax, err := core.BuildApprox(dev, workload.Column{X: data, Sigma: sigma}, core.ApproxOptions{
 		OptimalOptions: core.OptimalOptions{Branching: opts.Branching, Stride: opts.Stride},
 		Seed:           opts.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Index{ax: ax, disk: d, column: data, opts: opts}, nil
+	return &Index{ax: ax, disk: d, fd: fd, column: data, opts: opts}, nil
+}
+
+// ArmFaults starts fault injection on an index built with Options.Faults
+// (no-op otherwise). Faults then surface through Query errors and the
+// FailedReads/RetriedReads counters of Stats.
+func (ix *Index) ArmFaults() {
+	if ix.fd != nil {
+		ix.fd.Arm()
+	}
+}
+
+// DisarmFaults stops fault injection.
+func (ix *Index) DisarmFaults() {
+	if ix.fd != nil {
+		ix.fd.Disarm()
+	}
 }
 
 // Len returns the number of rows indexed.
@@ -190,6 +242,56 @@ func (ix *Index) QueryContext(ctx context.Context, lo, hi uint32) (*Result, Stat
 		return nil, fromQS(st), err
 	}
 	return &Result{bm: bm}, fromQS(st), nil
+}
+
+// QueryExec answers I[lo;hi] with fault-tolerant execution: transient
+// device-read failures are retried under opts.Retry with exponential
+// backoff, honouring ctx during waits. Permanent and corruption faults are
+// not retried (re-reading cannot help), and AllowPartial has no effect —
+// a single device has nothing to degrade to. Stats accumulate over every
+// attempt: FailedReads counts the faulted device reads, RetriedReads the
+// re-issued query attempts, mirroring the sharded counters.
+func (ix *Index) QueryExec(ctx context.Context, lo, hi uint32, opts QueryOptions) (*Result, Stats, error) {
+	var stats Stats
+	max := opts.Retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	for attempt := 1; ; attempt++ {
+		bm, st, err := ix.ax.QueryContext(ctx, index.Range{Lo: lo, Hi: hi})
+		stats.add(fromQS(st))
+		if err == nil {
+			return &Result{bm: bm}, stats, nil
+		}
+		if attempt >= max || !errors.Is(err, iomodel.ErrTransientRead) {
+			return nil, stats, err
+		}
+		if d := retryDelay(opts.Retry, attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, stats, ctx.Err()
+			case <-t.C:
+			}
+		} else if cerr := ctx.Err(); cerr != nil {
+			return nil, stats, cerr
+		}
+		stats.RetriedReads++
+	}
+}
+
+// retryDelay returns the backoff before re-issuing after `attempt` failures,
+// matching the sharded retry layer's schedule.
+func retryDelay(p RetryPolicy, attempt int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
 }
 
 // QueryBatch answers a batch of ranges through the shared-scan batch
@@ -283,6 +385,8 @@ func (ix *Index) ApproxQueryContext(ctx context.Context, lo, hi uint32, eps floa
 type AppendIndex struct {
 	ax   *core.AppendIndex
 	disk *iomodel.Disk
+	fd   *iomodel.FaultDisk // non-nil iff built with Options.Faults
+	opts Options
 }
 
 // BuildAppend constructs a semi-dynamic index over an initial column.
@@ -290,11 +394,11 @@ func BuildAppend(data []uint32, sigma int, opts Options) (*AppendIndex, error) {
 	if sigma < 1 {
 		return nil, fmt.Errorf("secidx: alphabet size %d", sigma)
 	}
-	d, err := opts.disk()
+	dev, d, fd, err := opts.device()
 	if err != nil {
 		return nil, err
 	}
-	ax, err := core.BuildAppendIndex(d, workload.Column{X: data, Sigma: sigma}, core.AppendOptions{
+	ax, err := core.BuildAppendIndex(dev, workload.Column{X: data, Sigma: sigma}, core.AppendOptions{
 		Branching: opts.Branching,
 		Stride:    opts.Stride,
 		Buffered:  opts.Buffered,
@@ -302,7 +406,22 @@ func BuildAppend(data []uint32, sigma int, opts Options) (*AppendIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AppendIndex{ax: ax, disk: d}, nil
+	return &AppendIndex{ax: ax, disk: d, fd: fd, opts: opts}, nil
+}
+
+// ArmFaults starts fault injection on an index built with Options.Faults
+// (no-op otherwise).
+func (ix *AppendIndex) ArmFaults() {
+	if ix.fd != nil {
+		ix.fd.Arm()
+	}
+}
+
+// DisarmFaults stops fault injection.
+func (ix *AppendIndex) DisarmFaults() {
+	if ix.fd != nil {
+		ix.fd.Disarm()
+	}
 }
 
 // Append appends a row with key ch.
@@ -335,6 +454,8 @@ func (ix *AppendIndex) SizeBits() int64 { return ix.ax.SizeBits() }
 type DynamicIndex struct {
 	dx   *core.Dynamic
 	disk *iomodel.Disk
+	fd   *iomodel.FaultDisk // non-nil iff built with Options.Faults
+	opts Options
 }
 
 // BuildDynamic constructs a fully dynamic index over an initial column.
@@ -342,18 +463,33 @@ func BuildDynamic(data []uint32, sigma int, opts Options) (*DynamicIndex, error)
 	if sigma < 1 {
 		return nil, fmt.Errorf("secidx: alphabet size %d", sigma)
 	}
-	d, err := opts.disk()
+	dev, d, fd, err := opts.device()
 	if err != nil {
 		return nil, err
 	}
-	dx, err := core.BuildDynamic(d, workload.Column{X: data, Sigma: sigma}, core.DynamicOptions{
+	dx, err := core.BuildDynamic(dev, workload.Column{X: data, Sigma: sigma}, core.DynamicOptions{
 		Branching: opts.Branching,
 		Stride:    opts.Stride,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicIndex{dx: dx, disk: d}, nil
+	return &DynamicIndex{dx: dx, disk: d, fd: fd, opts: opts}, nil
+}
+
+// ArmFaults starts fault injection on an index built with Options.Faults
+// (no-op otherwise).
+func (ix *DynamicIndex) ArmFaults() {
+	if ix.fd != nil {
+		ix.fd.Arm()
+	}
+}
+
+// DisarmFaults stops fault injection.
+func (ix *DynamicIndex) DisarmFaults() {
+	if ix.fd != nil {
+		ix.fd.Disarm()
+	}
 }
 
 // Change sets row i's key to ch.

@@ -29,24 +29,44 @@ const (
 	formatVersion = 1
 )
 
-// WriteTo serialises the index. It implements io.WriterTo.
+// countingWriter counts the bytes its underlying writer accepted. It sits
+// beneath the buffering and hashing layers of WriteTo so the io.WriterTo
+// contract — n is the number of bytes written to w, exactly — holds even
+// when w fails mid-write: bytes sitting in a bufio buffer or consumed by
+// the checksum never inflate the count.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serialises the index. It implements io.WriterTo: the returned
+// count is the number of bytes w actually accepted, on success and on error.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var written int64
+	if ix.column == nil {
+		// An index reopened from a v2 file does not retain its column; the
+		// v1 format is rebuilt from the column, so there is nothing to write.
+		return 0, fmt.Errorf("secidx: index was reopened from a file and retains no column; use WriteFile")
+	}
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	h := fnv.New64a()
 	out := io.MultiWriter(bw, h)
 
 	put := func(v uint64) error {
 		var buf [8]byte
 		binary.LittleEndian.PutUint64(buf[:], v)
-		n, err := out.Write(buf[:])
-		written += int64(n)
+		_, err := out.Write(buf[:])
 		return err
 	}
-	if n, err := out.Write([]byte(magic)); err != nil {
-		return written + int64(n), err
+	if _, err := out.Write([]byte(magic)); err != nil {
+		return cw.n, err
 	}
-	written += int64(len(magic))
 	n64 := uint64(ix.Len())
 	sigma := uint64(ix.Sigma())
 	for _, v := range []uint64{
@@ -55,7 +75,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		uint64(ix.opts.Branching), uint64(ix.opts.Stride), uint64(ix.opts.Seed),
 	} {
 		if err := put(v); err != nil {
-			return written, err
+			return cw.n, err
 		}
 	}
 	// Bit-packed column, flushed in 64-bit words.
@@ -74,24 +94,23 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		accBits += width
 		if accBits > 64-width {
 			if err := flush(); err != nil {
-				return written, err
+				return cw.n, err
 			}
 		}
 	}
 	if accBits > 0 {
 		if err := flush(); err != nil {
-			return written, err
+			return cw.n, err
 		}
 	}
 	// Checksum trailer (not itself checksummed).
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], h.Sum64())
-	n, err := bw.Write(buf[:])
-	written += int64(n)
-	if err != nil {
-		return written, err
+	if _, err := bw.Write(buf[:]); err != nil {
+		return cw.n, err
 	}
-	return written, bw.Flush()
+	err := bw.Flush()
+	return cw.n, err
 }
 
 // Load-time caps on header fields. The serialised header is untrusted input

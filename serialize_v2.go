@@ -1,0 +1,649 @@
+package secidx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/iomodel"
+	"repro/internal/shard"
+)
+
+// The v2 on-disk format is a sectioned container (internal/container) whose
+// payloads are the device image itself plus enough metadata to rebuild the
+// in-memory structures without replaying the build: magic and kind, then a
+// manifest (row count, alphabet, build options, shard count), then per shard
+// an independently checksummed metadata section and the shard's device image,
+// block-aligned in the file. A reopened index serves queries straight from
+// the file through a read-only FileDisk, so the Aggarwal–Vitter accounting
+// maps one-to-one onto real positional reads. The fully dynamic index is the
+// exception: its point indexes and position translator are write-active, so
+// its section is a logical snapshot (column plus deletions) replayed through
+// the paper's global-rebuilding primitive onto a fresh simulated device.
+
+// FileMode selects how a reopened index reads its file.
+type FileMode int
+
+const (
+	// ModePread serves every charged block read with a real positional read.
+	ModePread FileMode = iota
+	// ModeMmap maps the file; charged reads are counted but served from the
+	// mapping.
+	ModeMmap
+)
+
+func (m FileMode) toInternal() (iomodel.FileMode, error) {
+	switch m {
+	case ModePread:
+		return iomodel.ModePread, nil
+	case ModeMmap:
+		return iomodel.ModeMmap, nil
+	}
+	return 0, fmt.Errorf("secidx: unknown file mode %d", m)
+}
+
+// OpenOptions configures OpenFile. The zero value opens in pread mode with
+// no cache, no fault injection and lazy image verification (sections are
+// checksummed as their payloads are decoded; raw image bytes are verified
+// only when VerifyImages is set, since queries touch a vanishing fraction of
+// them).
+type OpenOptions struct {
+	// Mode selects pread or mmap service for the device images.
+	Mode FileMode
+	// CacheBlocks enables an LRU block cache of that many blocks on each
+	// reopened device (see ShardOptions.CacheBlocks).
+	CacheBlocks int
+	// VerifyImages checksums the raw image sections up front.
+	VerifyImages bool
+	// Faults, when non-nil, wraps every reopened device in a fault injector
+	// (per-shard seeds offset by the shard id, matching BuildSharded). The
+	// schedule starts disarmed.
+	Faults *FaultConfig
+	// Workers bounds a reopened sharded index's query fan-out (default
+	// GOMAXPROCS).
+	Workers int
+	// readerAt, when non-nil, overrides each device's pread source — the
+	// instrumentation hook the read-count differential tests use.
+	readerAt func(f *os.File) io.ReaderAt
+}
+
+// Opened is the result of OpenFile: exactly one of the index fields is
+// non-nil, according to the kind recorded in the file. Close releases the
+// file handle and any mappings; the indexes must not be used afterwards.
+type Opened struct {
+	Static  *Index
+	Sharded *ShardedIndex
+	Append  *AppendIndex
+	Dynamic *DynamicIndex
+
+	f     *os.File
+	disks []*iomodel.FileDisk
+}
+
+// Close releases the mappings and the underlying file.
+func (o *Opened) Close() error {
+	var first error
+	for _, d := range o.disks {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	o.disks = nil
+	if o.f != nil {
+		if err := o.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		o.f = nil
+	}
+	return first
+}
+
+// maxMetaBytes bounds a metadata section's payload: metadata is a constant
+// factor of the structure it describes, far below the image it accompanies.
+const maxMetaBytes = 1 << 30
+
+// wrapCorrupt rebrands container-level corruption as the package's
+// ErrCorrupt so callers detect both formats with one errors.Is.
+func wrapCorrupt(err error) error {
+	if errors.Is(err, container.ErrCorrupt) {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return err
+}
+
+// writeContainer writes a container to path atomically: the sections are
+// emitted to a temp file in the same directory, synced, and renamed over
+// path only on success.
+func writeContainer(path string, kind uint64, emit func(*container.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".secidx-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	committed := false
+	defer func() {
+		if !committed {
+			tmp.Close()
+			os.Remove(name)
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	cw, err := container.NewWriter(bw, kind)
+	if err != nil {
+		return err
+	}
+	if err := emit(cw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		return err
+	}
+	committed = true
+	return nil
+}
+
+// manifest is the decoded TypeManifest section.
+type manifest struct {
+	n      int64
+	sigma  int
+	opts   Options
+	shards int
+}
+
+func encodeManifest(e *container.Encoder, n int64, sigma int, opts Options, shards int) {
+	e.U(uint64(n))
+	e.U(uint64(sigma))
+	e.U(uint64(opts.BlockBits))
+	e.U(uint64(opts.MemBits))
+	e.U(uint64(opts.Branching))
+	e.U(uint64(opts.Stride))
+	e.I(opts.Seed)
+	if opts.Buffered {
+		e.U(1)
+	} else {
+		e.U(0)
+	}
+	e.U(uint64(shards))
+}
+
+func readManifest(cf *container.File) (manifest, error) {
+	s, ok := cf.Find(container.TypeManifest, 0)
+	if !ok {
+		return manifest{}, corruptf("missing manifest")
+	}
+	payload, err := cf.Payload(s, 1<<16)
+	if err != nil {
+		return manifest{}, wrapCorrupt(err)
+	}
+	dec := container.NewDecoder(payload)
+	var m manifest
+	m.n = int64(dec.UN(container.MaxRows))
+	sigma := dec.UN(container.MaxSigma)
+	m.opts.BlockBits = int(dec.UN(container.MaxParam))
+	m.opts.MemBits = int(dec.UN(container.MaxParam))
+	m.opts.Branching = int(dec.UN(container.MaxParam))
+	m.opts.Stride = int(dec.UN(container.MaxParam))
+	m.opts.Seed = dec.I()
+	m.opts.Buffered = dec.UN(1) == 1
+	m.shards = int(dec.UN(container.MaxParam))
+	if err := dec.Finish(); err != nil {
+		return manifest{}, wrapCorrupt(err)
+	}
+	if sigma == 0 {
+		return manifest{}, corruptf("manifest declares empty alphabet")
+	}
+	m.sigma = int(sigma)
+	if m.shards < 1 {
+		return manifest{}, corruptf("manifest declares %d shards", m.shards)
+	}
+	return m, nil
+}
+
+// addImage emits a device's image as an ImageInfo section (allocation tail
+// and free list) plus the raw image bytes, aligned in the file to the
+// device's block size so reopened block reads are aligned preads.
+func addImage(cw *container.Writer, shardID uint64, d *iomodel.Disk) error {
+	tailBits, data := d.Image()
+	var e container.Encoder
+	e.U(uint64(tailBits))
+	free := d.FreeList()
+	e.U(uint64(len(free)))
+	for _, b := range free {
+		e.U(uint64(b))
+	}
+	if err := cw.Add(container.TypeImageInfo, shardID, e.Bytes(), 1); err != nil {
+		return err
+	}
+	return cw.Add(container.TypeImage, shardID, data, d.BlockBits()/8)
+}
+
+// rawDisk unwraps a device to the simulated disk that owns its image.
+func rawDisk(dev iomodel.Device) (*iomodel.Disk, error) {
+	switch v := dev.(type) {
+	case *iomodel.Disk:
+		return v, nil
+	case *iomodel.FaultDisk:
+		return v.Disk, nil
+	case *iomodel.FileDisk:
+		return v.Disk, nil
+	}
+	return nil, fmt.Errorf("secidx: cannot serialise device of type %T", dev)
+}
+
+// errReopened rejects re-serialising an index that is itself file-backed:
+// its in-memory mirror holds only the blocks queries have touched, not the
+// image.
+var errReopened = errors.New("secidx: index was reopened from a file; its image lives in that file already")
+
+// WriteFile serialises the index to path in the v2 container format,
+// atomically (temp file and rename). The written file reopens with OpenFile
+// and serves queries directly from disk.
+func (ix *Index) WriteFile(path string) error {
+	if ix.disk.FileBacked() {
+		return errReopened
+	}
+	return writeContainer(path, container.KindStatic, func(cw *container.Writer) error {
+		var e container.Encoder
+		encodeManifest(&e, ix.Len(), ix.Sigma(), ix.opts, 1)
+		if err := cw.Add(container.TypeManifest, 0, e.Bytes(), 1); err != nil {
+			return err
+		}
+		var m container.Encoder
+		if err := ix.ax.EncodeMeta(&m); err != nil {
+			return err
+		}
+		if err := cw.Add(container.TypeStaticMeta, 0, m.Bytes(), 1); err != nil {
+			return err
+		}
+		return addImage(cw, 0, ix.disk)
+	})
+}
+
+// WriteFile serialises the sharded index to path in the v2 container format:
+// one metadata and one image section per shard, each independently
+// checksummed.
+func (ix *ShardedIndex) WriteFile(path string) error {
+	parts := ix.sx.Parts()
+	n, s := ix.Len(), int64(len(parts))
+	disks := make([]*iomodel.Disk, len(parts))
+	for i, p := range parts {
+		d, err := rawDisk(p.Disk)
+		if err != nil {
+			return err
+		}
+		if d.FileBacked() {
+			return errReopened
+		}
+		// OpenFile recomputes the partition instead of persisting it; assert
+		// the build used the same arithmetic before committing to that.
+		if p.Start != int64(i)*n/s || p.End != int64(i+1)*n/s {
+			return fmt.Errorf("secidx: shard %d covers [%d,%d), not the canonical partition", i, p.Start, p.End)
+		}
+		disks[i] = d
+	}
+	return writeContainer(path, container.KindSharded, func(cw *container.Writer) error {
+		var e container.Encoder
+		encodeManifest(&e, n, ix.Sigma(), ix.opts.Options, len(parts))
+		if err := cw.Add(container.TypeManifest, 0, e.Bytes(), 1); err != nil {
+			return err
+		}
+		for i, p := range parts {
+			var m container.Encoder
+			if err := p.Ax.EncodeMeta(&m); err != nil {
+				return err
+			}
+			if err := cw.Add(container.TypeStaticMeta, uint64(i), m.Bytes(), 1); err != nil {
+				return err
+			}
+			if err := addImage(cw, uint64(i), disks[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// WriteFile serialises the append index to path in the v2 container format.
+// A buffered index's pending root buffer is serialised with it, so an index
+// may be written mid-buffer without flushing. The reopened index is
+// read-only: it serves queries from the file, but further appends need the
+// original.
+func (ix *AppendIndex) WriteFile(path string) error {
+	if ix.disk.FileBacked() {
+		return errReopened
+	}
+	return writeContainer(path, container.KindAppend, func(cw *container.Writer) error {
+		var e container.Encoder
+		encodeManifest(&e, ix.Len(), ix.ax.Sigma(), ix.opts, 1)
+		if err := cw.Add(container.TypeManifest, 0, e.Bytes(), 1); err != nil {
+			return err
+		}
+		var m container.Encoder
+		if err := ix.ax.EncodeMeta(&m); err != nil {
+			return err
+		}
+		if err := cw.Add(container.TypeAppendMeta, 0, m.Bytes(), 1); err != nil {
+			return err
+		}
+		return addImage(cw, 0, ix.disk)
+	})
+}
+
+// WriteFile serialises the dynamic index to path. The dynamic structure's
+// point indexes and position translator are write-active, so the section is
+// a logical snapshot — the surviving column and the deleted positions — that
+// OpenFile replays through a global rebuild onto a fresh simulated device
+// (the paper's global-rebuilding primitive, applied at the serialisation
+// boundary). Rebuilding is deterministic, so the reopened index answers
+// queries bit-identically; its I/O counters start from the rebuilt state.
+func (ix *DynamicIndex) WriteFile(path string) error {
+	return writeContainer(path, container.KindDynamic, func(cw *container.Writer) error {
+		var e container.Encoder
+		encodeManifest(&e, ix.Len(), ix.dx.Sigma(), ix.opts, 1)
+		if err := cw.Add(container.TypeManifest, 0, e.Bytes(), 1); err != nil {
+			return err
+		}
+		var m container.Encoder
+		if err := ix.dx.EncodeMeta(&m); err != nil {
+			return err
+		}
+		return cw.Add(container.TypeDynamicMeta, 0, m.Bytes(), 1)
+	})
+}
+
+// OpenFile opens an index serialised by any WriteFile. The static, sharded
+// and append kinds are served from the file itself through read-only
+// file-backed devices; the dynamic kind is replayed onto a fresh simulated
+// device. The returned Opened must be closed when the index is no longer
+// needed. Input is untrusted: malformed files fail with an error wrapping
+// ErrCorrupt, never a panic, and allocations are bounded by the bytes
+// actually present.
+func OpenFile(path string, oo OpenOptions) (*Opened, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	o, err := openFile(f, oo)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return o, nil
+}
+
+func openFile(f *os.File, oo OpenOptions) (*Opened, error) {
+	if _, err := oo.Mode.toInternal(); err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	cf, err := container.Parse(f, st.Size())
+	if err != nil {
+		return nil, wrapCorrupt(err)
+	}
+	man, err := readManifest(cf)
+	if err != nil {
+		return nil, err
+	}
+	switch cf.Kind {
+	case container.KindStatic:
+		return openStatic(f, cf, man, oo)
+	case container.KindSharded:
+		return openSharded(f, cf, man, oo)
+	case container.KindAppend:
+		return openAppend(f, cf, man, oo)
+	case container.KindDynamic:
+		return openDynamic(f, cf, man, oo)
+	}
+	return nil, corruptf("unknown container kind %d", cf.Kind)
+}
+
+// openImage reopens one shard's device image as a read-only file-backed
+// device.
+func openImage(f *os.File, cf *container.File, shardID uint64, opts Options, oo OpenOptions) (*iomodel.FileDisk, error) {
+	info, ok := cf.Find(container.TypeImageInfo, shardID)
+	if !ok {
+		return nil, corruptf("shard %d: missing image info", shardID)
+	}
+	payload, err := cf.Payload(info, 1<<26)
+	if err != nil {
+		return nil, wrapCorrupt(err)
+	}
+	dec := container.NewDecoder(payload)
+	tailBits := int64(dec.UN(1 << 53))
+	nfree := dec.UN(1 << 40)
+	free := make([]iomodel.BlockID, 0, min(nfree, 1024))
+	for i := uint64(0); i < nfree && dec.Err() == nil; i++ {
+		free = append(free, iomodel.BlockID(dec.UN(1<<40)))
+	}
+	if err := dec.Finish(); err != nil {
+		return nil, wrapCorrupt(err)
+	}
+	img, ok := cf.Find(container.TypeImage, shardID)
+	if !ok {
+		return nil, corruptf("shard %d: missing image", shardID)
+	}
+	if img.Len != (tailBits+7)/8 {
+		return nil, corruptf("shard %d: image holds %d bytes, tail declares %d", shardID, img.Len, (tailBits+7)/8)
+	}
+	if oo.VerifyImages {
+		if err := cf.Verify(img); err != nil {
+			return nil, wrapCorrupt(err)
+		}
+	}
+	mode, err := oo.Mode.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	bk := iomodel.FileBackingConfig{Base: img.Off, TailBits: tailBits, Free: free, Mode: mode}
+	if oo.readerAt != nil {
+		bk.Reader = oo.readerAt(f)
+	}
+	cfg := iomodel.Config{BlockBits: opts.BlockBits, MemBits: opts.MemBits, CacheBlocks: oo.CacheBlocks}
+	fd, err := iomodel.OpenFileDisk(f, cfg, bk)
+	if err != nil {
+		// Geometry errors here are data-driven: the sizes came from the file.
+		return nil, corruptf("shard %d: %v", shardID, err)
+	}
+	return fd, nil
+}
+
+// wrapFaults optionally wraps a reopened device in a fault injector, with
+// the shard's seed offset matching BuildSharded's convention.
+func wrapFaults(fd *iomodel.FileDisk, fc *FaultConfig, seedOff int64) (iomodel.Device, *iomodel.FaultDisk, error) {
+	if fc == nil {
+		return fd, nil, nil
+	}
+	ifc := *fc.toInternal()
+	ifc.Seed += seedOff
+	fdk, err := iomodel.NewFaultDiskOn(fd.Disk, ifc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("secidx: %w", err)
+	}
+	return fdk, fdk, nil
+}
+
+func closeDisks(disks []*iomodel.FileDisk) {
+	for _, d := range disks {
+		d.Close()
+	}
+}
+
+// openShardStatic reopens one shard's static structure over its file-backed
+// device.
+func openShardStatic(f *os.File, cf *container.File, shardID uint64, man manifest, oo OpenOptions) (*core.Approx, *iomodel.FileDisk, *iomodel.FaultDisk, iomodel.Device, error) {
+	fdisk, err := openImage(f, cf, shardID, man.opts, oo)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	dev, fwrap, err := wrapFaults(fdisk, oo.Faults, int64(shardID))
+	if err != nil {
+		fdisk.Close()
+		return nil, nil, nil, nil, err
+	}
+	s, ok := cf.Find(container.TypeStaticMeta, shardID)
+	if !ok {
+		fdisk.Close()
+		return nil, nil, nil, nil, corruptf("shard %d: missing static metadata", shardID)
+	}
+	payload, err := cf.Payload(s, maxMetaBytes)
+	if err != nil {
+		fdisk.Close()
+		return nil, nil, nil, nil, wrapCorrupt(err)
+	}
+	dec := container.NewDecoder(payload)
+	ax, err := core.OpenApprox(dev, man.sigma, core.ApproxOptions{
+		OptimalOptions: core.OptimalOptions{Branching: man.opts.Branching, Stride: man.opts.Stride},
+		Seed:           man.opts.Seed,
+	}, dec)
+	if err == nil {
+		err = dec.Finish()
+	}
+	if err != nil {
+		fdisk.Close()
+		return nil, nil, nil, nil, corruptf("shard %d: %v", shardID, err)
+	}
+	return ax, fdisk, fwrap, dev, nil
+}
+
+func openStatic(f *os.File, cf *container.File, man manifest, oo OpenOptions) (*Opened, error) {
+	if man.shards != 1 {
+		return nil, corruptf("static container declares %d shards", man.shards)
+	}
+	ax, fdisk, fwrap, _, err := openShardStatic(f, cf, 0, man, oo)
+	if err != nil {
+		return nil, err
+	}
+	if ax.Len() != man.n {
+		fdisk.Close()
+		return nil, corruptf("index holds %d rows, manifest declares %d", ax.Len(), man.n)
+	}
+	ix := &Index{ax: ax, disk: fdisk.Disk, fd: fwrap, opts: man.opts}
+	return &Opened{Static: ix, f: f, disks: []*iomodel.FileDisk{fdisk}}, nil
+}
+
+func openSharded(f *os.File, cf *container.File, man manifest, oo OpenOptions) (*Opened, error) {
+	if int64(man.shards) > man.n {
+		return nil, corruptf("%d shards over %d rows", man.shards, man.n)
+	}
+	var disks []*iomodel.FileDisk
+	parts := make([]shard.Part, man.shards)
+	for i := 0; i < man.shards; i++ {
+		ax, fdisk, fwrap, dev, err := openShardStatic(f, cf, uint64(i), man, oo)
+		if err != nil {
+			closeDisks(disks)
+			return nil, err
+		}
+		disks = append(disks, fdisk)
+		parts[i] = shard.Part{
+			Ax:    ax,
+			Disk:  dev,
+			Fault: fwrap,
+			Start: int64(i) * man.n / int64(man.shards),
+			End:   int64(i+1) * man.n / int64(man.shards),
+		}
+	}
+	sx, err := shard.Assemble(parts, man.n, man.sigma, oo.Workers)
+	if err != nil {
+		closeDisks(disks)
+		return nil, corruptf("assemble: %v", err)
+	}
+	ix := &ShardedIndex{sx: sx, opts: ShardOptions{
+		Options: man.opts, Shards: man.shards, Workers: oo.Workers,
+		CacheBlocks: oo.CacheBlocks, Faults: oo.Faults,
+	}}
+	return &Opened{Sharded: ix, f: f, disks: disks}, nil
+}
+
+func openAppend(f *os.File, cf *container.File, man manifest, oo OpenOptions) (*Opened, error) {
+	if man.shards != 1 {
+		return nil, corruptf("append container declares %d shards", man.shards)
+	}
+	fdisk, err := openImage(f, cf, 0, man.opts, oo)
+	if err != nil {
+		return nil, err
+	}
+	dev, fwrap, err := wrapFaults(fdisk, oo.Faults, 0)
+	if err != nil {
+		fdisk.Close()
+		return nil, err
+	}
+	s, ok := cf.Find(container.TypeAppendMeta, 0)
+	if !ok {
+		fdisk.Close()
+		return nil, corruptf("missing append metadata")
+	}
+	payload, err := cf.Payload(s, maxMetaBytes)
+	if err != nil {
+		fdisk.Close()
+		return nil, wrapCorrupt(err)
+	}
+	dec := container.NewDecoder(payload)
+	ax, err := core.OpenAppendIndex(dev, man.sigma, core.AppendOptions{
+		Branching: man.opts.Branching, Stride: man.opts.Stride, Buffered: man.opts.Buffered,
+	}, dec)
+	if err == nil {
+		err = dec.Finish()
+	}
+	if err != nil {
+		fdisk.Close()
+		return nil, corruptf("open append index: %v", err)
+	}
+	if ax.Len() != man.n {
+		fdisk.Close()
+		return nil, corruptf("index holds %d rows, manifest declares %d", ax.Len(), man.n)
+	}
+	ix := &AppendIndex{ax: ax, disk: fdisk.Disk, fd: fwrap, opts: man.opts}
+	return &Opened{Append: ix, f: f, disks: []*iomodel.FileDisk{fdisk}}, nil
+}
+
+func openDynamic(f *os.File, cf *container.File, man manifest, oo OpenOptions) (*Opened, error) {
+	if man.shards != 1 {
+		return nil, corruptf("dynamic container declares %d shards", man.shards)
+	}
+	s, ok := cf.Find(container.TypeDynamicMeta, 0)
+	if !ok {
+		return nil, corruptf("missing dynamic metadata")
+	}
+	payload, err := cf.Payload(s, maxMetaBytes)
+	if err != nil {
+		return nil, wrapCorrupt(err)
+	}
+	opts := man.opts
+	opts.Faults = oo.Faults
+	dev, d, fwrap, err := opts.device()
+	if err != nil {
+		return nil, corruptf("dynamic device: %v", err)
+	}
+	dec := container.NewDecoder(payload)
+	dx, err := core.OpenDynamic(dev, man.sigma, core.DynamicOptions{
+		Branching: opts.Branching, Stride: opts.Stride,
+	}, dec)
+	if err == nil {
+		err = dec.Finish()
+	}
+	if err != nil {
+		return nil, corruptf("open dynamic index: %v", err)
+	}
+	if dx.Len() != man.n {
+		return nil, corruptf("index holds %d rows, manifest declares %d", dx.Len(), man.n)
+	}
+	ix := &DynamicIndex{dx: dx, disk: d, fd: fwrap, opts: opts}
+	return &Opened{Dynamic: ix, f: f}, nil
+}

@@ -152,7 +152,8 @@ type ShardOptions struct {
 // row-id offsetting. Results are identical, bit for bit, to a single
 // unsharded Index over the same column.
 type ShardedIndex struct {
-	sx *shard.Index
+	sx   *shard.Index
+	opts ShardOptions // retained for serialisation (WriteFile)
 }
 
 // BuildSharded constructs a sharded index over data (values in [0,sigma)).
@@ -172,7 +173,7 @@ func BuildSharded(data []uint32, sigma int, opts ShardOptions) (*ShardedIndex, e
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedIndex{sx: sx}, nil
+	return &ShardedIndex{sx: sx, opts: opts}, nil
 }
 
 // Len returns the number of rows indexed.
