@@ -1,0 +1,361 @@
+package secidx
+
+// The crash-injection recovery harness: run a logged workload on the
+// journaling CrashFS, then for EVERY byte-granular crash point replay the
+// journal into a filesystem snapshot, reopen through the production
+// recovery path, and check the three durability invariants:
+//
+//  1. Recovery never panics and — absent injected corruption — never fails.
+//  2. Atomicity: the recovered index equals the indexed prefix of the
+//     acknowledged operation sequence (never a partial op, never a
+//     reordering, never a dropped interior op).
+//  3. Durability: every operation acknowledged at or below the handle's
+//     reported durable watermark at crash time is present.
+//
+// Each crash point is checked under both journal views: optimistic (every
+// written byte survived, in-flight writes torn mid-record) and pessimistic
+// (only explicitly synced bytes and directory entries survived).
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// crashOp is one intended operation of a workload, applied identically to
+// the index under test and the plain-column model.
+type crashOp struct {
+	kind byte // 'a' append, 'c' change, 'd' delete
+	pos  int64
+	ch   uint32
+}
+
+func (op crashOp) apply(o *Opened) error {
+	var err error
+	switch {
+	case o.Append != nil:
+		_, err = o.Append.Append(op.ch)
+	case op.kind == 'a':
+		_, err = o.Dynamic.Append(op.ch)
+	case op.kind == 'c':
+		_, err = o.Dynamic.Change(op.pos, op.ch)
+	default:
+		_, err = o.Dynamic.Delete(op.pos)
+	}
+	return err
+}
+
+func (op crashOp) applyModel(col []uint32) []uint32 {
+	switch op.kind {
+	case 'a':
+		return append(col, op.ch)
+	case 'c':
+		col[op.pos] = op.ch
+	default:
+		col[op.pos] = ^uint32(0)
+	}
+	return col
+}
+
+// crashWorkload builds a deterministic op sequence from a tiny PRNG.
+func crashWorkload(kind string, initial []uint32, sigma, nOps int, seed uint64) []crashOp {
+	rng := seed
+	next := func() uint64 {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	ops := make([]crashOp, 0, nOps)
+	dead := make([]bool, len(initial)) // changes must target live positions
+	for len(ops) < nOps {
+		r := next()
+		if kind == "append" {
+			ops = append(ops, crashOp{kind: 'a', ch: uint32(r % uint64(sigma))})
+			continue
+		}
+		rows := int64(len(dead))
+		switch r % 5 {
+		case 0, 1:
+			ops = append(ops, crashOp{kind: 'a', ch: uint32((r >> 8) % uint64(sigma))})
+			dead = append(dead, false)
+		case 2, 3:
+			pos := int64((r >> 8) % uint64(rows))
+			for n := int64(0); n < rows && dead[pos]; n++ {
+				pos = (pos + 1) % rows
+			}
+			if dead[pos] { // everything deleted: append instead
+				ops = append(ops, crashOp{kind: 'a', ch: uint32((r >> 40) % uint64(sigma))})
+				dead = append(dead, false)
+				break
+			}
+			ops = append(ops, crashOp{kind: 'c', pos: pos, ch: uint32((r >> 40) % uint64(sigma))})
+		default:
+			pos := int64((r >> 8) % uint64(rows))
+			ops = append(ops, crashOp{kind: 'd', pos: pos})
+			dead[pos] = true
+		}
+	}
+	return ops
+}
+
+// opTrace records, per acknowledged op, the journal clock around it and the
+// durability watermark the handle reported afterwards.
+type opTrace struct {
+	seq     uint64
+	start   int64
+	end     int64
+	durable uint64
+}
+
+type crashScenario struct {
+	name    string
+	kind    string // "append" or "dynamic"
+	opts    Options
+	policy  SyncPolicy
+	grpOps  int
+	ckptOps int
+	nOps    int
+	seed    uint64
+	faults  wal.FaultSchedule // zero: pure crash injection, all ops succeed
+}
+
+// runCrashScenario executes one scenario and returns how many crash points
+// it checked.
+func runCrashScenario(t *testing.T, sc crashScenario) int {
+	t.Helper()
+	const sigma = 5
+	initial := []uint32{3, 1, 4, 1, 0, 2, 3, 2, 4, 0, 1, 3}
+
+	build := func() (any, func(string) error) {
+		if sc.kind == "append" {
+			ix, err := BuildAppend(initial, sigma, sc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix, ix.WriteFile
+		}
+		ix, err := BuildDynamic(initial, sigma, sc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix, ix.WriteFile
+	}
+	_, writeFile := build()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash.secidx")
+	if err := writeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs := wal.NewCrashFS()
+	cfs.Seed(path, base)
+	seedClock := cfs.Clock() // crash points before the base existed are moot
+
+	wo := &WALOptions{
+		fsys:            cfs,
+		Policy:          sc.policy,
+		GroupOps:        sc.grpOps,
+		CheckpointOps:   sc.ckptOps,
+		CheckpointBytes: -1,
+	}
+	o, err := OpenFile(path, OpenOptions{WAL: wo})
+	if err != nil {
+		t.Fatalf("workload open: %v", err)
+	}
+	if sc.faults != (wal.FaultSchedule{}) {
+		cfs.SetFaults(sc.faults) // armed after open: the ops hit the faults
+	}
+
+	ops := crashWorkload(sc.kind, initial, sigma, sc.nOps, sc.seed)
+	var trace []opTrace
+	inflightStart := int64(-1) // start tick of the op that errored, if any
+	for i, op := range ops {
+		start := cfs.Clock()
+		if err := op.apply(o); err != nil {
+			if sc.faults == (wal.FaultSchedule{}) {
+				t.Fatalf("op %d failed with no faults scheduled: %v", i, err)
+			}
+			inflightStart = start
+			break // handle is sticky-broken from here
+		}
+		trace = append(trace, opTrace{seq: o.LastSeq(), start: start, end: cfs.Clock(), durable: o.DurableSeq()})
+	}
+	if inflightStart < 0 {
+		if err := o.Close(); err != nil {
+			t.Fatalf("workload close: %v", err)
+		}
+	} else {
+		o.Close() // broken handle: the error is expected, the journal stands
+	}
+	if sc.faults != (wal.FaultSchedule{}) && cfs.ShortWrites()+cfs.FailedSyncs() == 0 {
+		t.Fatalf("fault schedule %+v injected nothing — pick a hotter seed or rate", sc.faults)
+	}
+	events := cfs.Events()
+	endClock := cfs.Clock()
+
+	// Crash points: every event boundary; every byte inside small writes
+	// (log records — the torn-record cases); sampled offsets inside large
+	// writes (container rewrites).
+	tickSet := map[int64]bool{seedClock: true, endClock: true}
+	for _, ev := range events {
+		if ev.Start < seedClock {
+			continue
+		}
+		tickSet[ev.Start] = true
+		if ev.Kind != wal.EvWrite {
+			continue
+		}
+		n := int64(len(ev.Data))
+		if n <= 128 {
+			for b := int64(1); b < n; b++ {
+				tickSet[ev.Start+b] = true
+			}
+		} else {
+			for _, b := range []int64{1, n / 3, n / 2, n - 1} {
+				tickSet[ev.Start+b] = true
+			}
+		}
+	}
+	ticks := make([]int64, 0, len(tickSet))
+	for c := range tickSet {
+		ticks = append(ticks, c)
+	}
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+	stride := 1
+	if testing.Short() {
+		stride = 9
+	}
+
+	// Model columns per recovered sequence number, memoised.
+	prefixCol := func(k uint64) []uint32 {
+		col := append([]uint32(nil), initial...)
+		for _, op := range ops[:k] {
+			col = op.applyModel(col)
+		}
+		return col
+	}
+	colMemo := map[uint64][]uint32{}
+
+	scratch := filepath.Join(dir, "recover")
+	points := 0
+	for i := 0; i < len(ticks); i += stride {
+		c := ticks[i]
+		// Acknowledgement bounds at this crash point.
+		var minK, maxK uint64
+		for _, tr := range trace {
+			if tr.end <= c && tr.durable > minK {
+				minK = tr.durable
+			}
+			if tr.start <= c && tr.seq > maxK {
+				maxK = tr.seq
+			}
+		}
+		// Eventually-acknowledged ops in flight at c already count in maxK
+		// (their start precedes c). The only op that can reach the log
+		// without ever being acknowledged is the one that errored.
+		if inflightStart >= 0 && inflightStart <= c {
+			maxK++
+		}
+
+		for _, optimistic := range []bool{true, false} {
+			st := wal.StateAt(events, c, optimistic)
+			if err := os.RemoveAll(scratch); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.MkdirAll(scratch, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for name, data := range st {
+				if err := os.WriteFile(filepath.Join(scratch, filepath.Base(name)), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rp := filepath.Join(scratch, filepath.Base(path))
+			if _, err := os.Stat(rp); err != nil {
+				t.Fatalf("tick %d optimistic=%v: base container missing from crash state", c, optimistic)
+			}
+			ro, err := OpenFile(rp, OpenOptions{WAL: &WALOptions{CheckpointBytes: -1}})
+			if err != nil {
+				t.Fatalf("tick %d optimistic=%v: recovery failed: %v", c, optimistic, err)
+			}
+			k := ro.LastSeq()
+			if k < minK || k > maxK {
+				ro.Close()
+				t.Fatalf("tick %d optimistic=%v: recovered seq %d outside [%d, %d]", c, optimistic, k, minK, maxK)
+			}
+			col, ok := colMemo[k]
+			if !ok {
+				col = prefixCol(k)
+				colMemo[k] = col
+			}
+			var rows func(lo, hi uint32) []int64
+			if ro.Append != nil {
+				rows = appendRows(ro.Append)
+			} else {
+				rows = dynamicRows(ro.Dynamic)
+			}
+			queriesEqual(t, sigma, rows, modelRows(col))
+			if err := ro.Close(); err != nil {
+				t.Fatalf("tick %d optimistic=%v: close after recovery: %v", c, optimistic, err)
+			}
+			points++
+		}
+	}
+	return points
+}
+
+// TestCrashMatrix is the main differential: three workload shapes × two
+// sync policies, pure crash injection (no write faults), every crash point
+// checked under both journal views.
+func TestCrashMatrix(t *testing.T) {
+	scenarios := []crashScenario{
+		{name: "append-direct/every-op", kind: "append", policy: SyncEveryOp, ckptOps: 7, nOps: 30, seed: 101},
+		{name: "append-direct/grouped", kind: "append", policy: SyncGrouped, grpOps: 3, ckptOps: 7, nOps: 30, seed: 102},
+		{name: "append-buffered/every-op", kind: "append", opts: Options{Buffered: true}, policy: SyncEveryOp, ckptOps: 7, nOps: 30, seed: 103},
+		{name: "append-buffered/grouped", kind: "append", opts: Options{Buffered: true}, policy: SyncGrouped, grpOps: 3, ckptOps: 7, nOps: 30, seed: 104},
+		{name: "dynamic/every-op", kind: "dynamic", policy: SyncEveryOp, ckptOps: 7, nOps: 30, seed: 105},
+		{name: "dynamic/grouped", kind: "dynamic", policy: SyncGrouped, grpOps: 3, ckptOps: 7, nOps: 30, seed: 106},
+	}
+	total := 0
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			n := runCrashScenario(t, sc)
+			t.Logf("%s: %d crash points", sc.name, n)
+			total += n
+		})
+	}
+	if !testing.Short() && total < 1000 {
+		t.Fatalf("crash matrix covered only %d points, want >= 1000", total)
+	}
+	t.Logf("crash matrix total: %d points", total)
+}
+
+// TestCrashMatrixWithWriteFaults layers seeded device faults (short log
+// writes, failed syncs) on top of crash injection: operations may fail, the
+// handle breaks sticky, but every recovery must still satisfy the
+// invariants.
+func TestCrashMatrixWithWriteFaults(t *testing.T) {
+	for i, sc := range []crashScenario{
+		{name: "append/short-writes", kind: "append", policy: SyncEveryOp, ckptOps: 5, nOps: 40, seed: 201,
+			faults: wal.FaultSchedule{Seed: 11, ShortWritePer10k: 600}},
+		{name: "append/failed-syncs", kind: "append", policy: SyncEveryOp, ckptOps: 5, nOps: 40, seed: 202,
+			faults: wal.FaultSchedule{Seed: 12, FailSyncPer10k: 500}},
+		{name: "dynamic/mixed", kind: "dynamic", policy: SyncGrouped, grpOps: 3, ckptOps: 5, nOps: 40, seed: 203,
+			faults: wal.FaultSchedule{Seed: 13, ShortWritePer10k: 400, FailSyncPer10k: 300}},
+	} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			n := runCrashScenario(t, sc)
+			t.Logf("%s: %d crash points (faulty run %d)", sc.name, n, i)
+		})
+	}
+}

@@ -1,0 +1,433 @@
+package secidx
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/index"
+	"repro/internal/wal"
+)
+
+// Crash-consistent durability. OpenFile with OpenOptions.WAL reopens an
+// append or dynamic container *writable*: every update is appended to a
+// write-ahead log before it is applied, the base container is atomically
+// rewritten (checkpoint) when the log grows past a threshold or the handle
+// closes, and a reopen after a crash replays the log suffix beyond the
+// base's watermark. The invariants the crash-injection harness pins:
+//
+//   - Atomicity: after a crash at any byte of the write history, reopening
+//     recovers the index to exactly some prefix of the acknowledged
+//     operations (plus at most the single in-flight one) — never a torn
+//     state, never an interior gap.
+//   - Durability: every operation acknowledged at or before a sync barrier
+//     (per the SyncPolicy) survives.
+//   - Recovery either succeeds or reports ErrCorrupt for genuine mid-log
+//     damage; it never panics and never silently drops interior records.
+
+// SyncPolicy selects when the write-ahead log makes acknowledged operations
+// durable.
+type SyncPolicy int
+
+const (
+	// SyncEveryOp syncs the log after every operation: an acknowledged
+	// operation is durable. The safest and slowest policy.
+	SyncEveryOp SyncPolicy = iota
+	// SyncGrouped group-commits: the log is synced when the unsynced window
+	// reaches GroupBytes bytes or GroupOps operations, whichever first. An
+	// acknowledged operation may be lost to a crash until the next barrier.
+	SyncGrouped
+	// SyncInterval syncs when Interval has elapsed since the last sync,
+	// checked at each operation.
+	SyncInterval
+)
+
+// WALOptions configures the durability layer of OpenFile. The zero value of
+// Path places the log next to the container as <path>.wal.
+type WALOptions struct {
+	// Path is the log file's path (default: container path + ".wal").
+	Path string
+	// Policy selects the sync policy (default SyncEveryOp).
+	Policy SyncPolicy
+	// GroupBytes and GroupOps bound the unsynced window under SyncGrouped
+	// (both zero: GroupOps defaults to 16).
+	GroupBytes int
+	GroupOps   int
+	// Interval is the SyncInterval period (default 100ms).
+	Interval time.Duration
+	// CheckpointBytes rewrites the base container once the log exceeds this
+	// many bytes (0: 4 MiB default; negative: no byte trigger — the base is
+	// rewritten only on Close or an op-count trigger).
+	CheckpointBytes int64
+	// CheckpointOps rewrites the base container every this many applied
+	// operations (0: no op-count trigger).
+	CheckpointOps int
+
+	// fsys overrides the filesystem — the crash-injection harness's hook.
+	// nil means the real filesystem.
+	fsys wal.FS
+}
+
+// defaultCheckpointBytes is the log-size checkpoint threshold when
+// WALOptions.CheckpointBytes is zero.
+const defaultCheckpointBytes = 4 << 20
+
+func (wo *WALOptions) walPolicy() wal.Policy {
+	switch wo.Policy {
+	case SyncGrouped:
+		gb, gops := wo.GroupBytes, wo.GroupOps
+		if gb == 0 && gops == 0 {
+			gops = 16
+		}
+		return wal.Policy{Mode: wal.SyncWindow, WindowBytes: gb, WindowOps: gops}
+	case SyncInterval:
+		iv := wo.Interval
+		if iv == 0 {
+			iv = 100 * time.Millisecond
+		}
+		return wal.Policy{Mode: wal.SyncTimed, Interval: iv}
+	}
+	return wal.Policy{Mode: wal.SyncEveryRecord}
+}
+
+// Log record opcodes. A record is opcode + operands, varint-packed.
+const (
+	opAppend = 1 // operand: ch
+	opChange = 2 // operands: i, ch
+	opDelete = 3 // operand: i
+)
+
+func encodeOpAppend(ch uint32) []byte {
+	var e container.Encoder
+	e.U(opAppend)
+	e.U(uint64(ch))
+	return e.Bytes()
+}
+
+func encodeOpChange(i int64, ch uint32) []byte {
+	var e container.Encoder
+	e.U(opChange)
+	e.U(uint64(i))
+	e.U(uint64(ch))
+	return e.Bytes()
+}
+
+func encodeOpDelete(i int64) []byte {
+	var e container.Encoder
+	e.U(opDelete)
+	e.U(uint64(i))
+	return e.Bytes()
+}
+
+// walOp is one decoded log record.
+type walOp struct {
+	op uint64
+	i  int64
+	ch uint32
+}
+
+func decodeOp(payload []byte) (walOp, error) {
+	dec := container.NewDecoder(payload)
+	var o walOp
+	o.op = dec.UN(opDelete)
+	switch o.op {
+	case opAppend:
+		o.ch = uint32(dec.UN(container.MaxSigma - 1))
+	case opChange:
+		o.i = int64(dec.UN(container.MaxRows))
+		o.ch = uint32(dec.UN(container.MaxSigma - 1))
+	case opDelete:
+		o.i = int64(dec.UN(container.MaxRows))
+	default:
+		if dec.Err() == nil {
+			return o, fmt.Errorf("invalid opcode %d", o.op)
+		}
+	}
+	if err := dec.Finish(); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// durable is the durability state behind a writable handle: the live log
+// writer, the watermark the base container reflects, and the checkpoint
+// thresholds. Errors are sticky — after a failed log write, apply, or
+// checkpoint, the handle's offset bookkeeping can no longer be trusted, so
+// every later operation is refused; the data on disk stays recoverable.
+type durable struct {
+	fsys     wal.FS
+	dir      string
+	basePath string
+	walPath  string
+	kind     uint64
+	pol      wal.Policy
+
+	ckptBytes int64
+	ckptOps   int
+
+	w        *wal.Writer
+	ckptSeq  uint64 // watermark: seq the base container on disk reflects
+	opsSince int    // ops applied since the last checkpoint
+	// emit writes the base container's sections at watermark seq.
+	emit func(cw *container.Writer, seq uint64) error
+	err  error
+}
+
+func (du *durable) fail(err error) error {
+	if du.err == nil {
+		du.err = err
+	}
+	return err
+}
+
+// log appends one operation record and applies the sync policy. On return
+// the operation is acknowledged under the policy's durability contract; an
+// error means it was not acknowledged and the handle is broken.
+func (du *durable) log(payload []byte) error {
+	if du.err != nil {
+		return du.err
+	}
+	if _, err := du.w.Append(payload); err != nil {
+		return du.fail(err)
+	}
+	return nil
+}
+
+// sync is an explicit durability barrier over the log.
+func (du *durable) sync() error {
+	if du.err != nil {
+		return du.err
+	}
+	if err := du.w.Sync(); err != nil {
+		return du.fail(err)
+	}
+	return nil
+}
+
+// maybeCheckpoint rewrites the base container when the log has grown past
+// the configured thresholds. A checkpoint failure does not un-acknowledge
+// the operation that triggered it — it is logged and applied — but the
+// handle goes sticky-broken so no further operations are accepted.
+func (du *durable) maybeCheckpoint() {
+	if du.err != nil || du.opsSince == 0 {
+		return
+	}
+	if (du.ckptBytes > 0 && du.w.Written() >= du.ckptBytes) ||
+		(du.ckptOps > 0 && du.opsSince >= du.ckptOps) {
+		du.checkpoint()
+	}
+}
+
+// checkpoint makes the base container reflect every logged operation and
+// resets the log. The ordering is what makes a crash at any point safe:
+// sync the log (nothing acknowledged may outrun what recovery can see),
+// atomically rewrite the base at the log's last sequence (temp file, rename,
+// directory sync), then swing a fresh log starting at that sequence into
+// place the same way. A crash between the two rewrites leaves a new base
+// with a stale log, which recovery detects by the watermark and discards.
+func (du *durable) checkpoint() error {
+	if du.err != nil {
+		return du.err
+	}
+	if err := du.w.Sync(); err != nil {
+		return du.fail(err)
+	}
+	seq := du.w.Seq()
+	if err := writeContainerFS(du.fsys, du.basePath, du.kind, func(cw *container.Writer) error {
+		return du.emit(cw, seq)
+	}); err != nil {
+		return du.fail(err)
+	}
+	if err := du.w.Close(); err != nil {
+		return du.fail(err)
+	}
+	w, err := du.rotateWAL(seq)
+	if err != nil {
+		return du.fail(err)
+	}
+	du.w = w
+	du.ckptSeq = seq
+	du.opsSince = 0
+	return nil
+}
+
+// rotateWAL installs a fresh log starting at startSeq via temp file and
+// rename — never by truncating in place, which could mix old and new bytes
+// if interrupted. The returned writer's handle survives the rename (the
+// name moves, the object does not).
+func (du *durable) rotateWAL(startSeq uint64) (*wal.Writer, error) {
+	tmp := du.walPath + ".tmp"
+	f, err := du.fsys.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w, err := wal.Create(f, du.kind, startSeq, du.pol)
+	if err != nil {
+		f.Close()
+		du.fsys.Remove(tmp)
+		return nil, err
+	}
+	if err := du.fsys.Rename(tmp, du.walPath); err != nil {
+		f.Close()
+		du.fsys.Remove(tmp)
+		return nil, err
+	}
+	if err := du.fsys.SyncDir(du.dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// close checkpoints outstanding operations and closes the log. After a clean
+// close the base container alone carries the index and the log is empty.
+func (du *durable) close() error {
+	var first error
+	if du.err == nil && du.opsSince > 0 {
+		first = du.checkpoint()
+	}
+	if du.w != nil {
+		err := du.w.Close()
+		du.w = nil
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// lastSeq returns the sequence number of the last acknowledged operation.
+func (du *durable) lastSeq() uint64 { return du.w.Seq() }
+
+// durableSeq returns the last sequence number guaranteed to survive a crash.
+func (du *durable) durableSeq() uint64 {
+	if s := du.w.SyncedSeq(); s > du.ckptSeq {
+		return s
+	}
+	return du.ckptSeq
+}
+
+// durableApply runs one update under the log-before-apply discipline:
+// pre-validate (only operations the index will accept may be logged — a
+// record whose replay fails would poison recovery), log, apply, then
+// checkpoint if due. An apply failure after a successful log breaks the
+// handle: the in-memory state may be part-mutated, and recovery from the
+// (still consistent) on-disk state is the only way forward.
+func durableApply(du *durable, validate func() error, payload func() []byte,
+	apply func() (index.QueryStats, error)) (Stats, error) {
+	if du.err != nil {
+		return Stats{}, du.err
+	}
+	if err := validate(); err != nil {
+		return Stats{}, err
+	}
+	if err := du.log(payload()); err != nil {
+		return Stats{}, err
+	}
+	st, err := apply()
+	if err != nil {
+		du.fail(err)
+		return fromQS(st), err
+	}
+	du.opsSince++
+	du.maybeCheckpoint()
+	return fromQS(st), nil
+}
+
+// openDurable recovers the durability state for a base container opened at
+// watermark appliedSeq: scan the log, replay the suffix beyond the watermark
+// through apply, and return a handle whose writer resumes at the log's valid
+// end. A torn log tail (a crash mid-append) is truncated and overwritten;
+// mid-log damage, a log/base kind mismatch, or a log that starts beyond the
+// base's watermark (acknowledged operations missing) is ErrCorrupt.
+func openDurable(wo *WALOptions, basePath string, kind uint64, appliedSeq uint64,
+	apply func(walOp) error, emit func(cw *container.Writer, seq uint64) error) (*durable, error) {
+	fsys := wo.fsys
+	if fsys == nil {
+		fsys = wal.OS
+	}
+	walPath := wo.Path
+	if walPath == "" {
+		walPath = basePath + ".wal"
+	}
+	du := &durable{
+		fsys: fsys, dir: filepath.Dir(walPath), basePath: basePath, walPath: walPath,
+		kind: kind, pol: wo.walPolicy(),
+		ckptBytes: wo.CheckpointBytes, ckptOps: wo.CheckpointOps,
+		ckptSeq: appliedSeq, emit: emit,
+	}
+	if du.ckptBytes == 0 {
+		du.ckptBytes = defaultCheckpointBytes
+	} else if du.ckptBytes < 0 {
+		du.ckptBytes = 0
+	}
+
+	data, err := fsys.ReadFile(walPath)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		data = nil
+	}
+	fresh := func() (*durable, error) {
+		w, err := du.rotateWAL(appliedSeq)
+		if err != nil {
+			return nil, err
+		}
+		du.w = w
+		return du, nil
+	}
+	if data == nil {
+		// First durable open: no log yet.
+		return fresh()
+	}
+	sr, serr := wal.Scan(data)
+	if serr != nil {
+		return nil, fmt.Errorf("%w: log %s: %v", ErrCorrupt, walPath, serr)
+	}
+	if !sr.HeaderOK {
+		// The file is shorter than a log header — a crash during log
+		// creation, before anything could have been acknowledged against it.
+		return fresh()
+	}
+	if sr.Kind != kind {
+		return nil, corruptf("log %s belongs to container kind %d, base is kind %d", walPath, sr.Kind, kind)
+	}
+	if sr.StartSeq > appliedSeq {
+		return nil, corruptf("log %s starts at sequence %d but the base reflects only %d: acknowledged operations are missing", walPath, sr.StartSeq, appliedSeq)
+	}
+	last := sr.StartSeq
+	for _, rec := range sr.Recs {
+		last = rec.Seq
+		if rec.Seq <= appliedSeq {
+			continue // the base already reflects it
+		}
+		op, derr := decodeOp(rec.Payload)
+		if derr != nil {
+			return nil, corruptf("log %s record %d: %v", walPath, rec.Seq, derr)
+		}
+		if err := apply(op); err != nil {
+			return nil, corruptf("log %s: replaying record %d: %v", walPath, rec.Seq, err)
+		}
+		du.opsSince++
+	}
+	if last < appliedSeq {
+		// The base is newer than the whole log: a crash fell between the
+		// checkpoint's base rewrite and its log rotation. The log is stale.
+		return fresh()
+	}
+	f, err := fsys.OpenResume(walPath, sr.ValidLen)
+	if err != nil {
+		return nil, err
+	}
+	w, err := wal.Resume(f, kind, last, sr.ValidLen, du.pol)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	du.w = w
+	return du, nil
+}

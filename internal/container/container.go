@@ -70,6 +70,14 @@ const (
 	// TypeImage is one device's raw image bytes. Its payload offset is the
 	// FileDisk base.
 	TypeImage = 6
+	// TypeColumn is the append index's per-character position lists — the
+	// in-memory rebuild mirror, serialised so a reopened index can accept
+	// further appends instead of being read-only.
+	TypeColumn = 7
+	// TypeDurable is the durability watermark: the sequence number of the
+	// last logged operation the container's sections reflect. A reopened
+	// durable handle replays only WAL records beyond it.
+	TypeDurable = 8
 )
 
 // ErrCorrupt is wrapped by every error caused by the input bytes, as opposed

@@ -468,6 +468,122 @@ func OpenAppendIndex(d iomodel.Device, sigma int, opts AppendOptions, dec *conta
 	return ax, nil
 }
 
+// EncodeColumn appends the append index's per-character position lists — the
+// in-memory rebuild mirror (byChar) — to e, as a count plus strictly
+// positive deltas per character. OpenAppendIndex leaves the mirror empty and
+// the index read-only; DecodeMirror over this payload is what makes a
+// reopened index writable again.
+func (ax *AppendIndex) EncodeColumn(e *container.Encoder) {
+	for a := 0; a < ax.sigma; a++ {
+		list := ax.byChar[a]
+		e.U(uint64(len(list)))
+		prev := int64(-1)
+		for _, p := range list {
+			e.U(uint64(p - prev)) // positions strictly increase, so deltas ≥ 1
+			prev = p
+		}
+	}
+}
+
+// DecodeMirror reconstitutes the rebuild mirror from EncodeColumn's payload
+// and clears the index's read-only mark. The payload is untrusted: per-
+// character counts must match the decoded metadata, positions must be
+// strictly increasing and in [0,n), and the lists together must partition
+// the positions exactly — anything else is corruption, rejected before the
+// index can accept appends that would build on a broken mirror.
+func (ax *AppendIndex) DecodeMirror(dec *container.Decoder) error {
+	byChar := make([][]int64, ax.sigma)
+	seen := make([]bool, ax.n)
+	for a := 0; a < ax.sigma; a++ {
+		cnt := int64(dec.UN(container.MaxRows))
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if cnt != ax.counts[a] {
+			return fmt.Errorf("core: column list for character %d has %d positions, counts say %d", a, cnt, ax.counts[a])
+		}
+		capHint := cnt
+		if capHint > 1<<16 {
+			capHint = 1 << 16 // growth tracks bytes actually decoded
+		}
+		list := make([]int64, 0, capHint)
+		prev := int64(-1)
+		for i := int64(0); i < cnt; i++ {
+			delta := int64(dec.UN(container.MaxRows))
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			pos := prev + delta
+			if delta < 1 || pos >= ax.n {
+				return fmt.Errorf("core: column list for character %d: position %d after %d invalid for %d rows", a, pos, prev, ax.n)
+			}
+			if seen[pos] {
+				return fmt.Errorf("core: position %d listed under two characters", pos)
+			}
+			seen[pos] = true
+			list = append(list, pos)
+			prev = pos
+		}
+		byChar[a] = list
+	}
+	// Counts sum to n (checked at open) and every listed position is distinct
+	// and in range, so the lists partition [0,n) exactly; no residue check
+	// needed.
+	ax.byChar = byChar
+	ax.readonly = false
+	return nil
+}
+
+// ValidateAppend checks Append's preconditions without mutating anything.
+// The durability layer logs an operation before applying it, and must only
+// ever log operations the index will accept: a record whose replay fails
+// would poison recovery.
+func (ax *AppendIndex) ValidateAppend(ch uint32) error {
+	if ax.readonly {
+		return fmt.Errorf("core: append index reopened from a file is read-only")
+	}
+	if int(ch) >= ax.sigma {
+		return fmt.Errorf("core: character %d outside alphabet [0,%d)", ch, ax.sigma)
+	}
+	if ax.n >= 1<<47 {
+		return fmt.Errorf("core: position %d outside encodable range", ax.n)
+	}
+	return nil
+}
+
+// ValidateAppend checks Append's preconditions without mutating anything
+// (see AppendIndex.ValidateAppend for why the durability layer needs this).
+func (dx *Dynamic) ValidateAppend(ch uint32) error {
+	if int(ch) >= dx.sigma {
+		return fmt.Errorf("core: character %d outside alphabet [0,%d)", ch, dx.sigma)
+	}
+	return nil
+}
+
+// ValidateChange checks Change's preconditions without mutating anything.
+func (dx *Dynamic) ValidateChange(i int64, ch uint32) error {
+	if i < 0 || i >= dx.n {
+		return fmt.Errorf("core: position %d outside [0,%d)", i, dx.n)
+	}
+	if int(ch) >= dx.sigma {
+		return fmt.Errorf("core: character %d outside alphabet [0,%d)", ch, dx.sigma)
+	}
+	if dx.x[i] == uint32(dx.sigmaEff-1) {
+		return fmt.Errorf("core: position %d is deleted", i)
+	}
+	return nil
+}
+
+// ValidateDelete checks Delete's preconditions without mutating anything
+// (deleting an already-deleted row is accepted and idempotent, so only the
+// bounds matter).
+func (dx *Dynamic) ValidateDelete(i int64) error {
+	if i < 0 || i >= dx.n {
+		return fmt.Errorf("core: position %d outside [0,%d)", i, dx.n)
+	}
+	return nil
+}
+
 // EncodeMeta appends the dynamic (Theorem 7) index's logical snapshot to e:
 // the current string (deleted rows as ∞ markers) and the rebuild counter.
 // The Theorem 7 structure is rebuilt, not remapped, at open — its buffered

@@ -8,13 +8,16 @@ import (
 	"time"
 )
 
-// Fault-injecting device. A FaultDisk wraps a Disk and makes its *read path*
-// fallible according to a deterministic, seeded schedule: transient read
-// errors that heal after a bounded number of attempts, permanent per-block
-// failures, silent single-bit corruption of the data returned, and injected
-// per-read latency. Writes and allocation are never faulted — the fault
-// model targets query execution, which is where retries, cancellation and
-// degraded modes live; the write path's invariants stay intact.
+// Fault-injecting device. A FaultDisk wraps a Disk and makes its I/O paths
+// fallible according to a deterministic, seeded schedule. On the read path:
+// transient read errors that heal after a bounded number of attempts,
+// permanent per-block failures, silent single-bit corruption of the data
+// returned, and injected per-read latency. On the write path: failed writes
+// (the faulty block's bits are not applied) and short writes (they are
+// applied, but the call still errors) — both torn, in that blocks earlier in
+// the write's span stay applied and are not rolled back, which is exactly
+// the partial state a crashed device write leaves and what the durability
+// layer's write-ahead logging must absorb. Allocation is never faulted.
 //
 // Every fault decision is a pure function of (Seed, BlockID) plus a per-block
 // read counter, so a fault schedule is reproducible across runs and — because
@@ -33,6 +36,12 @@ var ErrTransientRead = errors.New("iomodel: transient read fault")
 // of the block fails, so retries cannot help and the caller must degrade
 // (exclude the device) or fail the operation.
 var ErrPermanentRead = errors.New("iomodel: permanent block failure")
+
+// ErrFailedWrite reports an injected write fault. The write is torn: blocks
+// of the span before the faulty one are applied and stay applied (and, for a
+// short write, so is the faulty block itself); nothing after it is. The
+// faulty block heals, so a retry of the same write succeeds.
+var ErrFailedWrite = errors.New("iomodel: injected write fault")
 
 // FaultConfig describes a seeded fault schedule. Probabilities are drawn
 // once per block from the seed, in parts per ten thousand, so the same
@@ -58,6 +67,17 @@ type FaultConfig struct {
 	// ReadLatency is slept once per charged device read while armed,
 	// simulating device service time.
 	ReadLatency time.Duration
+	// FailedWritePer10k is the per-block probability (in 1/10000) that the
+	// block's first faulted write fails *before* its bits are applied: the
+	// write is torn at the block's start (earlier blocks of the span stay
+	// applied), the call returns ErrFailedWrite, and the block heals.
+	FailedWritePer10k int
+	// ShortWritePer10k is the per-block probability (in 1/10000) that the
+	// block's first faulted write is short: the block's bits *are* applied but
+	// the call still returns ErrFailedWrite, tearing the write at the block's
+	// end. The block heals afterwards. A block drawn by both fates fails
+	// first, then writes short, then heals.
+	ShortWritePer10k int
 }
 
 // Validate reports whether the configuration is well-formed.
@@ -69,6 +89,8 @@ func (fc FaultConfig) Validate() error {
 		{"TransientPer10k", fc.TransientPer10k},
 		{"PermanentPer10k", fc.PermanentPer10k},
 		{"CorruptPer10k", fc.CorruptPer10k},
+		{"FailedWritePer10k", fc.FailedWritePer10k},
+		{"ShortWritePer10k", fc.ShortWritePer10k},
 	} {
 		if p.v < 0 || p.v > 10000 {
 			return fmt.Errorf("iomodel: %s %d outside [0,10000]", p.name, p.v)
@@ -91,11 +113,13 @@ func (fc FaultConfig) transientCount() int32 {
 }
 
 // blockFault is the decided fate of one block plus its remaining transient
-// failure budget.
+// failure budgets (read and write fates are drawn independently).
 type blockFault struct {
-	transLeft int32
-	permanent bool
-	corrupt   bool
+	transLeft  int32
+	permanent  bool
+	corrupt    bool
+	wfailLeft  int32
+	wshortLeft int32
 }
 
 // faultSched executes a FaultConfig. It is shared by every session the
@@ -121,11 +145,16 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Each fate draws with its own salt, so adding a salt never perturbs the
+// draws of the others: enabling write faults leaves a seed's read-fault
+// schedule bit-identical to what it was before write faults existed.
 const (
-	saltTransient uint64 = 0x7472616e7369656e // "transien"
-	saltPermanent uint64 = 0x7065726d616e656e // "permanen"
-	saltCorrupt   uint64 = 0x636f727275707462 // "corruptb"
-	saltBit       uint64 = 0x666c697062697421 // "flipbit!"
+	saltTransient  uint64 = 0x7472616e7369656e // "transien"
+	saltPermanent  uint64 = 0x7065726d616e656e // "permanen"
+	saltCorrupt    uint64 = 0x636f727275707462 // "corruptb"
+	saltBit        uint64 = 0x666c697062697421 // "flipbit!"
+	saltFailWrite  uint64 = 0x6661696c77726974 // "failwrit"
+	saltShortWrite uint64 = 0x73686f7274777274 // "shortwrt"
 )
 
 func (f *faultSched) draw(b BlockID, salt uint64) uint64 {
@@ -149,8 +178,43 @@ func (f *faultSched) stateOf(b BlockID) *blockFault {
 		st.transLeft = f.cfg.transientCount()
 	}
 	st.corrupt = f.hits(b, saltCorrupt, f.cfg.CorruptPer10k)
+	if f.hits(b, saltFailWrite, f.cfg.FailedWritePer10k) {
+		st.wfailLeft = 1
+	}
+	if f.hits(b, saltShortWrite, f.cfg.ShortWritePer10k) {
+		st.wshortLeft = 1
+	}
 	f.blocks[b] = st
 	return st
+}
+
+// writeFate is the schedule's verdict for one block of a write's span.
+type writeFate int
+
+const (
+	writeOK    writeFate = iota
+	writeFail            // error before the block's bits are applied
+	writeShort           // the block's bits are applied, then the error surfaces
+)
+
+// onWrite is consulted for each block of a write's span, in span order, until
+// the first non-OK fate; a faulty fate consumes the block's budget.
+func (f *faultSched) onWrite(b BlockID) writeFate {
+	if f == nil || !f.armed.Load() {
+		return writeOK
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stateOf(b)
+	switch {
+	case st.wfailLeft > 0:
+		st.wfailLeft--
+		return writeFail
+	case st.wshortLeft > 0:
+		st.wshortLeft--
+		return writeShort
+	}
+	return writeOK
 }
 
 // onRead is consulted once per charged device read of block b. It returns

@@ -64,17 +64,22 @@ type Stats struct {
 	// injecting device fails reads; a plain Disk never increments this).
 	// Failed attempts are not counted in BlockReads.
 	FailedReads atomic.Int64
+	// FailedWrites counts write calls aborted by an injected write fault.
+	// Blocks the call applied before the fault are still counted in
+	// BlockWrites — an injected short write is torn, not rolled back.
+	FailedWrites atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of the counters.
 type StatsSnapshot struct {
-	BlockReads  int64
-	BlockWrites int64
-	Sessions    int64
-	CacheHits   int64
-	CacheMisses int64
-	SharedSaved int64
-	FailedReads int64
+	BlockReads   int64
+	BlockWrites  int64
+	Sessions     int64
+	CacheHits    int64
+	CacheMisses  int64
+	SharedSaved  int64
+	FailedReads  int64
+	FailedWrites int64
 }
 
 // Extent identifies a bit range on the disk.
@@ -174,6 +179,41 @@ func NewDisk(cfg Config) *Disk {
 	return d
 }
 
+// NewDiskFromImage reconstitutes a writable in-memory device from a
+// serialised image — the inverse of Image and FreeList. It is how a durable
+// handle reopens an append index for further writes: the frozen file image
+// becomes live storage again, bit-identical to the device that produced it,
+// so rebuilds and appends continue exactly where the original left off. The
+// inputs are untrusted (they come from a file): geometry, image size and the
+// free list are validated, never trusted.
+func NewDiskFromImage(cfg Config, tailBits int64, data []byte, free []BlockID) (*Disk, error) {
+	d, err := NewDiskChecked(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tailBits <= 0 || (tailBits+7)/8 != int64(len(data)) {
+		return nil, fmt.Errorf("iomodel: image holds %d bytes, tail declares %d bits", len(data), tailBits)
+	}
+	bb := int64(d.cfg.BlockBits)
+	seen := make(map[BlockID]struct{}, len(free))
+	for _, id := range free {
+		// A free block must lie whole inside the allocated range (AllocBlock
+		// zeroes all of it on reuse): id+1 blocks must fit under the tail.
+		if id < 0 || int64(id) >= tailBits/bb {
+			return nil, fmt.Errorf("iomodel: free block %d outside %d allocated bits", id, tailBits)
+		}
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("iomodel: free block %d listed twice", id)
+		}
+		seen[id] = struct{}{}
+	}
+	d.buf = append(make([]byte, 0, len(data)), data...)
+	d.tailBits = tailBits
+	d.free = append([]BlockID(nil), free...)
+	d.freed = int64(len(free))
+	return d, nil
+}
+
 // BlockBits returns the block size B in bits.
 func (d *Disk) BlockBits() int { return d.cfg.BlockBits }
 
@@ -183,13 +223,14 @@ func (d *Disk) MemBits() int { return d.cfg.MemBits }
 // Stats returns a copy of the cumulative device counters.
 func (d *Disk) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		BlockReads:  d.stats.BlockReads.Load(),
-		BlockWrites: d.stats.BlockWrites.Load(),
-		Sessions:    d.stats.Sessions.Load(),
-		CacheHits:   d.stats.CacheHits.Load(),
-		CacheMisses: d.stats.CacheMisses.Load(),
-		SharedSaved: d.stats.SharedSaved.Load(),
-		FailedReads: d.stats.FailedReads.Load(),
+		BlockReads:   d.stats.BlockReads.Load(),
+		BlockWrites:  d.stats.BlockWrites.Load(),
+		Sessions:     d.stats.Sessions.Load(),
+		CacheHits:    d.stats.CacheHits.Load(),
+		CacheMisses:  d.stats.CacheMisses.Load(),
+		SharedSaved:  d.stats.SharedSaved.Load(),
+		FailedReads:  d.stats.FailedReads.Load(),
+		FailedWrites: d.stats.FailedWrites.Load(),
 	}
 }
 
@@ -202,6 +243,7 @@ func (d *Disk) ResetStats() {
 	d.stats.CacheMisses.Store(0)
 	d.stats.SharedSaved.Store(0)
 	d.stats.FailedReads.Store(0)
+	d.stats.FailedWrites.Store(0)
 }
 
 // CachedBlocks returns the number of blocks currently resident in the cache
@@ -428,10 +470,12 @@ type Touch struct {
 	// cache, reads of resident blocks are free, so charged <= len(reads).
 	charged int
 	// faults is the owning FaultDisk's schedule, nil for sessions opened on a
-	// plain Disk. failed counts this session's failed read attempts; corrupt
-	// is per-call scratch listing blocks whose data must be silently flipped.
+	// plain Disk. failed counts this session's failed read attempts, failedW
+	// its failed write attempts; corrupt is per-call scratch listing blocks
+	// whose data must be silently flipped.
 	faults  *faultSched
 	failed  int
+	failedW int
 	corrupt []BlockID
 }
 
@@ -463,6 +507,7 @@ func (t *Touch) Close() {
 	t.charged = 0
 	t.faults = nil
 	t.failed = 0
+	t.failedW = 0
 	t.corrupt = t.corrupt[:0]
 	t.d.touches.Put(t)
 }
@@ -480,6 +525,10 @@ func (t *Touch) IOs() int { return t.charged + len(t.writes) }
 // FailedReads returns the number of device read attempts that failed during
 // this session (always 0 on a plain Disk).
 func (t *Touch) FailedReads() int { return t.failed }
+
+// FailedWrites returns the number of write attempts that failed during this
+// session (always 0 on a plain Disk).
+func (t *Touch) FailedWrites() int { return t.failedW }
 
 // markRead charges the device reads for blocks [from,to]. With a fault
 // schedule attached and faulty set, each charged read consults the schedule
@@ -534,6 +583,33 @@ func (t *Touch) markRead(from, to BlockID, faulty bool) ([]BlockID, error) {
 		t.d.stats.BlockReads.Add(1)
 	}
 	return t.corrupt, nil
+}
+
+// faultWrite consults the write-fault schedule for a write covering blocks
+// [from,to] over bit span [pos,end). It returns how many leading bits of the
+// span must still be applied — the torn prefix — and the injected error; a
+// clean write returns (end-pos, nil). Blocks are consulted in span order up
+// to the first faulty one: a writeFail fate tears the write at that block's
+// start, writeShort at its end.
+func (t *Touch) faultWrite(from, to BlockID, pos, end int64) (int64, error) {
+	if t.faults == nil || !t.faults.armed.Load() {
+		return end - pos, nil
+	}
+	for b := from; b <= to; b++ {
+		fate := t.faults.onWrite(b)
+		if fate == writeOK {
+			continue
+		}
+		limit := t.d.BlockOff(b)
+		if fate == writeShort {
+			limit += int64(t.d.cfg.BlockBits)
+		}
+		limit = min(max(limit, pos), end)
+		t.failedW++
+		t.d.stats.FailedWrites.Add(1)
+		return limit - pos, fmt.Errorf("iomodel: block %d: %w", b, ErrFailedWrite)
+	}
+	return end - pos, nil
 }
 
 func (t *Touch) markWrite(from, to BlockID) {
@@ -591,10 +667,15 @@ func (t *Touch) WriteBits(pos int64, v uint64, n int) error {
 		return nil
 	}
 	from, to := t.d.blockOf(pos), t.d.blockOf(pos+int64(n)-1)
-	_, _ = t.markRead(from, to, false) // write-path residency charge: never faults
-	t.markWrite(from, to)
-	t.d.putBits(pos, v, n)
-	return nil
+	_, _ = t.markRead(from, to, false) // residency charge: read faults don't fire here
+	keep, ferr := t.faultWrite(from, to, pos, pos+int64(n))
+	if keep > 0 {
+		// Apply the (possibly torn) prefix: the high keep bits of v. Applied
+		// blocks stay applied — an injected fault tears, it never rolls back.
+		t.markWrite(from, t.d.blockOf(pos+keep-1))
+		t.d.putBits(pos, v>>uint(int64(n)-keep), int(keep))
+	}
+	return ferr
 }
 
 // Reader returns a bitio.Reader over the extent, charging a read for every
@@ -663,18 +744,21 @@ func (t *Touch) WriteStream(ext Extent, w *bitio.Writer) error {
 		return nil
 	}
 	from, to := t.d.blockOf(ext.Off), t.d.blockOf(ext.Off+int64(w.Len())-1)
-	_, _ = t.markRead(from, to, false) // write-path residency charge: never faults
-	t.markWrite(from, to)
-	r := bitio.NewReader(w.Bytes(), w.Len())
-	pos := ext.Off
-	for r.Remaining() >= 64 {
-		v, _ := r.ReadBits(64)
-		t.d.putBits(pos, v, 64)
-		pos += 64
+	_, _ = t.markRead(from, to, false) // residency charge: read faults don't fire here
+	keep, ferr := t.faultWrite(from, to, ext.Off, ext.Off+int64(w.Len()))
+	if keep > 0 {
+		t.markWrite(from, t.d.blockOf(ext.Off+keep-1))
+		r := bitio.NewReader(w.Bytes(), int(keep))
+		pos := ext.Off
+		for r.Remaining() >= 64 {
+			v, _ := r.ReadBits(64)
+			t.d.putBits(pos, v, 64)
+			pos += 64
+		}
+		if rem := r.Remaining(); rem > 0 {
+			v, _ := r.ReadBits(rem)
+			t.d.putBits(pos, v, rem)
+		}
 	}
-	if rem := r.Remaining(); rem > 0 {
-		v, _ := r.ReadBits(rem)
-		t.d.putBits(pos, v, rem)
-	}
-	return nil
+	return ferr
 }

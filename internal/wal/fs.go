@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the durable-file surface the writer needs.
+type File interface {
+	io.Writer
+	// Sync makes every written byte durable.
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of the durability layer — log
+// appends, atomic base rewrites (temp file, rename, directory sync) and
+// recovery reads — so the crash-injection harness can substitute a
+// journaling in-memory implementation (CrashFS) and compute the exact
+// durable state at any byte of the write history. OS is the production
+// implementation.
+type FS interface {
+	// Create creates (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// OpenResume opens an existing file for appending at offset size,
+	// truncating anything beyond it (a recovered log's torn tail).
+	OpenResume(name string, size int64) (File, error)
+	// ReadFile returns the file's contents, or an error satisfying
+	// errors.Is(err, fs.ErrNotExist) when it does not exist.
+	ReadFile(name string) ([]byte, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// SyncDir makes directory entries (created or renamed names) durable.
+	SyncDir(dir string) error
+}
+
+type osFS struct{}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) OpenResume(name string, size int64) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -386,6 +386,7 @@ type AppendIndex struct {
 	ax   *core.AppendIndex
 	disk *iomodel.Disk
 	fd   *iomodel.FaultDisk // non-nil iff built with Options.Faults
+	dur  *durable           // non-nil iff reopened writable (OpenOptions.WAL)
 	opts Options
 }
 
@@ -424,8 +425,16 @@ func (ix *AppendIndex) DisarmFaults() {
 	}
 }
 
-// Append appends a row with key ch.
+// Append appends a row with key ch. On a handle reopened writable
+// (OpenOptions.WAL) the operation is write-ahead logged before it is
+// applied; acknowledgement follows the handle's SyncPolicy.
 func (ix *AppendIndex) Append(ch uint32) (Stats, error) {
+	if ix.dur != nil {
+		return durableApply(ix.dur,
+			func() error { return ix.ax.ValidateAppend(ch) },
+			func() []byte { return encodeOpAppend(ch) },
+			func() (index.QueryStats, error) { return ix.ax.Append(ch) })
+	}
 	st, err := ix.ax.Append(ch)
 	return fromQS(st), err
 }
@@ -455,6 +464,7 @@ type DynamicIndex struct {
 	dx   *core.Dynamic
 	disk *iomodel.Disk
 	fd   *iomodel.FaultDisk // non-nil iff built with Options.Faults
+	dur  *durable           // non-nil iff reopened writable (OpenOptions.WAL)
 	opts Options
 }
 
@@ -492,21 +502,43 @@ func (ix *DynamicIndex) DisarmFaults() {
 	}
 }
 
-// Change sets row i's key to ch.
+// Change sets row i's key to ch. On a handle reopened writable
+// (OpenOptions.WAL) the operation is write-ahead logged before it is
+// applied; acknowledgement follows the handle's SyncPolicy.
 func (ix *DynamicIndex) Change(i int64, ch uint32) (Stats, error) {
+	if ix.dur != nil {
+		return durableApply(ix.dur,
+			func() error { return ix.dx.ValidateChange(i, ch) },
+			func() []byte { return encodeOpChange(i, ch) },
+			func() (index.QueryStats, error) { return ix.dx.Change(i, ch) })
+	}
 	st, err := ix.dx.Change(i, ch)
 	return fromQS(st), err
 }
 
 // Delete removes row i from all future query answers (row ids of other
-// rows are unchanged, the paper's deletion semantics).
+// rows are unchanged, the paper's deletion semantics). Write-ahead logged
+// on a writable handle, like Change.
 func (ix *DynamicIndex) Delete(i int64) (Stats, error) {
+	if ix.dur != nil {
+		return durableApply(ix.dur,
+			func() error { return ix.dx.ValidateDelete(i) },
+			func() []byte { return encodeOpDelete(i) },
+			func() (index.QueryStats, error) { return ix.dx.Delete(i) })
+	}
 	st, err := ix.dx.Delete(i)
 	return fromQS(st), err
 }
 
-// Append appends a row with key ch.
+// Append appends a row with key ch. Write-ahead logged on a writable
+// handle, like Change.
 func (ix *DynamicIndex) Append(ch uint32) (Stats, error) {
+	if ix.dur != nil {
+		return durableApply(ix.dur,
+			func() error { return ix.dx.ValidateAppend(ch) },
+			func() []byte { return encodeOpAppend(ch) },
+			func() (index.QueryStats, error) { return ix.dx.Append(ch) })
+	}
 	st, err := ix.dx.Append(ch)
 	return fromQS(st), err
 }

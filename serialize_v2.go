@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/iomodel"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // The v2 on-disk format is a sectioned container (internal/container) whose
@@ -67,6 +68,14 @@ type OpenOptions struct {
 	// Workers bounds a reopened sharded index's query fan-out (default
 	// GOMAXPROCS).
 	Workers int
+	// WAL, when non-nil, opens an append or dynamic container *writable*
+	// with crash-consistent durability: the device image is materialised
+	// into memory instead of being served read-only from the file, updates
+	// are write-ahead logged before they apply, the log suffix beyond the
+	// base's watermark is replayed at open, and checkpoints atomically
+	// rewrite the container (see WALOptions). Static and sharded containers
+	// reject it — they have no update operations to log.
+	WAL *WALOptions
 	// readerAt, when non-nil, overrides each device's pread source — the
 	// instrumentation hook the read-count differential tests use.
 	readerAt func(f *os.File) io.ReaderAt
@@ -81,13 +90,28 @@ type Opened struct {
 	Append  *AppendIndex
 	Dynamic *DynamicIndex
 
-	f     *os.File
-	disks []*iomodel.FileDisk
+	f      *os.File
+	disks  []*iomodel.FileDisk
+	dur    *durable
+	closed bool
 }
 
-// Close releases the mappings and the underlying file.
+// Close releases the index. For a handle opened writable (OpenOptions.WAL)
+// it first checkpoints outstanding operations and closes the log, so a
+// cleanly closed index is carried entirely by its base container. Close is
+// idempotent: the first call does the work and surfaces any error
+// (checkpoint, log flush, munmap, file close); later calls are no-ops
+// returning nil.
 func (o *Opened) Close() error {
+	if o.closed {
+		return nil
+	}
+	o.closed = true
 	var first error
+	if o.dur != nil {
+		first = o.dur.close()
+		o.dur = nil
+	}
 	for _, d := range o.disks {
 		if err := d.Close(); err != nil && first == nil {
 			first = err
@@ -101,6 +125,46 @@ func (o *Opened) Close() error {
 		o.f = nil
 	}
 	return first
+}
+
+// Sync forces a durability barrier on a handle opened with OpenOptions.WAL:
+// on return every acknowledged operation survives a crash. A no-op on
+// read-only handles.
+func (o *Opened) Sync() error {
+	if o.dur == nil {
+		return nil
+	}
+	return o.dur.sync()
+}
+
+// Checkpoint forces the base container to be atomically rewritten at the
+// current operation watermark and the log to be reset. A no-op on read-only
+// handles.
+func (o *Opened) Checkpoint() error {
+	if o.dur == nil {
+		return nil
+	}
+	return o.dur.checkpoint()
+}
+
+// LastSeq returns the sequence number of the last acknowledged operation on
+// a handle opened with OpenOptions.WAL — the count of updates ever applied
+// through the durability layer, across reopens. Zero on read-only handles.
+func (o *Opened) LastSeq() uint64 {
+	if o.dur == nil {
+		return 0
+	}
+	return o.dur.lastSeq()
+}
+
+// DurableSeq returns the last sequence number guaranteed to survive a crash
+// (acknowledged operations beyond it await the next sync barrier). Zero on
+// read-only handles.
+func (o *Opened) DurableSeq() uint64 {
+	if o.dur == nil {
+		return 0
+	}
+	return o.dur.durableSeq()
 }
 
 // maxMetaBytes bounds a metadata section's payload: metadata is a constant
@@ -120,16 +184,26 @@ func wrapCorrupt(err error) error {
 // emitted to a temp file in the same directory, synced, and renamed over
 // path only on success.
 func writeContainer(path string, kind uint64, emit func(*container.Writer) error) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".secidx-*")
+	return writeContainerFS(wal.OS, path, kind, emit)
+}
+
+// writeContainerFS is writeContainer over an abstract filesystem (the
+// crash-injection harness substitutes a journaling one). The temp file is
+// path+".tmp" — concurrent writers of the same path are not supported — and
+// after the rename the parent directory is synced: without that, a crash
+// shortly after a "successful" write can roll the file back to its previous
+// contents, or to nothing at all if it was being created.
+func writeContainerFS(fsys wal.FS, path string, kind uint64, emit func(*container.Writer) error) error {
+	name := path + ".tmp"
+	tmp, err := fsys.Create(name)
 	if err != nil {
 		return err
 	}
-	name := tmp.Name()
 	committed := false
 	defer func() {
 		if !committed {
 			tmp.Close()
-			os.Remove(name)
+			fsys.Remove(name)
 		}
 	}()
 	bw := bufio.NewWriterSize(tmp, 1<<20)
@@ -149,11 +223,11 @@ func writeContainer(path string, kind uint64, emit func(*container.Writer) error
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(name, path); err != nil {
+	if err := fsys.Rename(name, path); err != nil {
 		return err
 	}
 	committed = true
-	return nil
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // manifest is the decoded TypeManifest section.
@@ -317,29 +391,75 @@ func (ix *ShardedIndex) WriteFile(path string) error {
 	})
 }
 
+// addDurable emits the durability watermark section: the sequence number of
+// the last logged operation the container's other sections reflect.
+func addDurable(cw *container.Writer, seq uint64) error {
+	var e container.Encoder
+	e.U(seq)
+	return cw.Add(container.TypeDurable, 0, e.Bytes(), 1)
+}
+
+// readDurableSeq reads the durability watermark; containers written before
+// the watermark existed reflect sequence zero.
+func readDurableSeq(cf *container.File) (uint64, error) {
+	s, ok := cf.Find(container.TypeDurable, 0)
+	if !ok {
+		return 0, nil
+	}
+	payload, err := cf.Payload(s, 64)
+	if err != nil {
+		return 0, wrapCorrupt(err)
+	}
+	dec := container.NewDecoder(payload)
+	seq := dec.U()
+	if err := dec.Finish(); err != nil {
+		return 0, wrapCorrupt(err)
+	}
+	return seq, nil
+}
+
+// emitSections writes the append container's sections at durability
+// watermark seq — shared by WriteFile and the durability layer's
+// checkpoints. The column section carries the in-memory rebuild mirror, so
+// a reopened index can accept further appends instead of being read-only.
+func (ix *AppendIndex) emitSections(cw *container.Writer, seq uint64) error {
+	var e container.Encoder
+	encodeManifest(&e, ix.Len(), ix.ax.Sigma(), ix.opts, 1)
+	if err := cw.Add(container.TypeManifest, 0, e.Bytes(), 1); err != nil {
+		return err
+	}
+	var m container.Encoder
+	if err := ix.ax.EncodeMeta(&m); err != nil {
+		return err
+	}
+	if err := cw.Add(container.TypeAppendMeta, 0, m.Bytes(), 1); err != nil {
+		return err
+	}
+	var c container.Encoder
+	ix.ax.EncodeColumn(&c)
+	if err := cw.Add(container.TypeColumn, 0, c.Bytes(), 1); err != nil {
+		return err
+	}
+	if err := addDurable(cw, seq); err != nil {
+		return err
+	}
+	return addImage(cw, 0, ix.disk)
+}
+
 // WriteFile serialises the append index to path in the v2 container format.
 // A buffered index's pending root buffer is serialised with it, so an index
-// may be written mid-buffer without flushing. The reopened index is
-// read-only: it serves queries from the file, but further appends need the
-// original.
+// may be written mid-buffer without flushing. The written file reopens
+// read-only by default, or writable with OpenOptions.WAL.
 func (ix *AppendIndex) WriteFile(path string) error {
 	if ix.disk.FileBacked() {
 		return errReopened
 	}
+	var seq uint64
+	if ix.dur != nil {
+		seq = ix.dur.lastSeq()
+	}
 	return writeContainer(path, container.KindAppend, func(cw *container.Writer) error {
-		var e container.Encoder
-		encodeManifest(&e, ix.Len(), ix.ax.Sigma(), ix.opts, 1)
-		if err := cw.Add(container.TypeManifest, 0, e.Bytes(), 1); err != nil {
-			return err
-		}
-		var m container.Encoder
-		if err := ix.ax.EncodeMeta(&m); err != nil {
-			return err
-		}
-		if err := cw.Add(container.TypeAppendMeta, 0, m.Bytes(), 1); err != nil {
-			return err
-		}
-		return addImage(cw, 0, ix.disk)
+		return ix.emitSections(cw, seq)
 	})
 }
 
@@ -351,18 +471,32 @@ func (ix *AppendIndex) WriteFile(path string) error {
 // boundary). Rebuilding is deterministic, so the reopened index answers
 // queries bit-identically; its I/O counters start from the rebuilt state.
 func (ix *DynamicIndex) WriteFile(path string) error {
+	var seq uint64
+	if ix.dur != nil {
+		seq = ix.dur.lastSeq()
+	}
 	return writeContainer(path, container.KindDynamic, func(cw *container.Writer) error {
-		var e container.Encoder
-		encodeManifest(&e, ix.Len(), ix.dx.Sigma(), ix.opts, 1)
-		if err := cw.Add(container.TypeManifest, 0, e.Bytes(), 1); err != nil {
-			return err
-		}
-		var m container.Encoder
-		if err := ix.dx.EncodeMeta(&m); err != nil {
-			return err
-		}
-		return cw.Add(container.TypeDynamicMeta, 0, m.Bytes(), 1)
+		return ix.emitSections(cw, seq)
 	})
+}
+
+// emitSections writes the dynamic container's sections at durability
+// watermark seq (see DynamicIndex.WriteFile for why the payload is a
+// logical snapshot).
+func (ix *DynamicIndex) emitSections(cw *container.Writer, seq uint64) error {
+	var e container.Encoder
+	encodeManifest(&e, ix.Len(), ix.dx.Sigma(), ix.opts, 1)
+	if err := cw.Add(container.TypeManifest, 0, e.Bytes(), 1); err != nil {
+		return err
+	}
+	var m container.Encoder
+	if err := ix.dx.EncodeMeta(&m); err != nil {
+		return err
+	}
+	if err := cw.Add(container.TypeDynamicMeta, 0, m.Bytes(), 1); err != nil {
+		return err
+	}
+	return addDurable(cw, seq)
 }
 
 // OpenFile opens an index serialised by any WriteFile. The static, sharded
@@ -402,6 +536,12 @@ func openFile(f *os.File, oo OpenOptions) (*Opened, error) {
 		return nil, err
 	}
 	switch cf.Kind {
+	case container.KindStatic, container.KindSharded:
+		if oo.WAL != nil {
+			return nil, fmt.Errorf("secidx: durability (OpenOptions.WAL) applies to append and dynamic containers only; static containers have no update operations to log")
+		}
+	}
+	switch cf.Kind {
 	case container.KindStatic:
 		return openStatic(f, cf, man, oo)
 	case container.KindSharded:
@@ -414,33 +554,43 @@ func openFile(f *os.File, oo OpenOptions) (*Opened, error) {
 	return nil, corruptf("unknown container kind %d", cf.Kind)
 }
 
-// openImage reopens one shard's device image as a read-only file-backed
-// device.
-func openImage(f *os.File, cf *container.File, shardID uint64, opts Options, oo OpenOptions) (*iomodel.FileDisk, error) {
+// readImageInfo decodes one shard's image-info section (allocation tail and
+// free list) and locates its raw image section.
+func readImageInfo(cf *container.File, shardID uint64) (tailBits int64, free []iomodel.BlockID, img container.Section, err error) {
 	info, ok := cf.Find(container.TypeImageInfo, shardID)
 	if !ok {
-		return nil, corruptf("shard %d: missing image info", shardID)
+		return 0, nil, img, corruptf("shard %d: missing image info", shardID)
 	}
 	payload, err := cf.Payload(info, 1<<26)
 	if err != nil {
-		return nil, wrapCorrupt(err)
+		return 0, nil, img, wrapCorrupt(err)
 	}
 	dec := container.NewDecoder(payload)
-	tailBits := int64(dec.UN(1 << 53))
+	tailBits = int64(dec.UN(1 << 53))
 	nfree := dec.UN(1 << 40)
-	free := make([]iomodel.BlockID, 0, min(nfree, 1024))
+	free = make([]iomodel.BlockID, 0, min(nfree, 1024))
 	for i := uint64(0); i < nfree && dec.Err() == nil; i++ {
 		free = append(free, iomodel.BlockID(dec.UN(1<<40)))
 	}
 	if err := dec.Finish(); err != nil {
-		return nil, wrapCorrupt(err)
+		return 0, nil, img, wrapCorrupt(err)
 	}
-	img, ok := cf.Find(container.TypeImage, shardID)
+	img, ok = cf.Find(container.TypeImage, shardID)
 	if !ok {
-		return nil, corruptf("shard %d: missing image", shardID)
+		return 0, nil, img, corruptf("shard %d: missing image", shardID)
 	}
 	if img.Len != (tailBits+7)/8 {
-		return nil, corruptf("shard %d: image holds %d bytes, tail declares %d", shardID, img.Len, (tailBits+7)/8)
+		return 0, nil, img, corruptf("shard %d: image holds %d bytes, tail declares %d", shardID, img.Len, (tailBits+7)/8)
+	}
+	return tailBits, free, img, nil
+}
+
+// openImage reopens one shard's device image as a read-only file-backed
+// device.
+func openImage(f *os.File, cf *container.File, shardID uint64, opts Options, oo OpenOptions) (*iomodel.FileDisk, error) {
+	tailBits, free, img, err := readImageInfo(cf, shardID)
+	if err != nil {
+		return nil, err
 	}
 	if oo.VerifyImages {
 		if err := cf.Verify(img); err != nil {
@@ -575,6 +725,9 @@ func openAppend(f *os.File, cf *container.File, man manifest, oo OpenOptions) (*
 	if man.shards != 1 {
 		return nil, corruptf("append container declares %d shards", man.shards)
 	}
+	if oo.WAL != nil {
+		return openAppendDurable(f, cf, man, oo)
+	}
 	fdisk, err := openImage(f, cf, 0, man.opts, oo)
 	if err != nil {
 		return nil, err
@@ -613,6 +766,95 @@ func openAppend(f *os.File, cf *container.File, man manifest, oo OpenOptions) (*
 	return &Opened{Append: ix, f: f, disks: []*iomodel.FileDisk{fdisk}}, nil
 }
 
+// maxDurableImageBytes bounds the image a durable open materialises into
+// memory (the directory-level bound — payload length within the file — was
+// already enforced by Parse).
+const maxDurableImageBytes = 1 << 32
+
+// openAppendDurable reopens an append container writable: the device image
+// is materialised into a writable in-memory disk, the rebuild mirror is
+// reconstituted from the column section, and the write-ahead log's suffix
+// beyond the container's watermark is replayed.
+func openAppendDurable(f *os.File, cf *container.File, man manifest, oo OpenOptions) (*Opened, error) {
+	tailBits, free, img, err := readImageInfo(cf, 0)
+	if err != nil {
+		return nil, err
+	}
+	image, err := cf.Payload(img, maxDurableImageBytes) // checksum-verified full read
+	if err != nil {
+		return nil, wrapCorrupt(err)
+	}
+	cfg := iomodel.Config{BlockBits: man.opts.BlockBits, MemBits: man.opts.MemBits, CacheBlocks: oo.CacheBlocks}
+	d, err := iomodel.NewDiskFromImage(cfg, tailBits, image, free)
+	if err != nil {
+		return nil, corruptf("image: %v", err)
+	}
+	var dev iomodel.Device = d
+	var fwrap *iomodel.FaultDisk
+	if oo.Faults != nil {
+		fwrap, err = iomodel.NewFaultDiskOn(d, *oo.Faults.toInternal())
+		if err != nil {
+			return nil, err
+		}
+		dev = fwrap
+	}
+	s, ok := cf.Find(container.TypeAppendMeta, 0)
+	if !ok {
+		return nil, corruptf("missing append metadata")
+	}
+	payload, err := cf.Payload(s, maxMetaBytes)
+	if err != nil {
+		return nil, wrapCorrupt(err)
+	}
+	dec := container.NewDecoder(payload)
+	ax, err := core.OpenAppendIndex(dev, man.sigma, core.AppendOptions{
+		Branching: man.opts.Branching, Stride: man.opts.Stride, Buffered: man.opts.Buffered,
+	}, dec)
+	if err == nil {
+		err = dec.Finish()
+	}
+	if err != nil {
+		return nil, corruptf("open append index: %v", err)
+	}
+	if ax.Len() != man.n {
+		return nil, corruptf("index holds %d rows, manifest declares %d", ax.Len(), man.n)
+	}
+	col, ok := cf.Find(container.TypeColumn, 0)
+	if !ok {
+		return nil, corruptf("container lacks the column section a writable reopen needs (written before durability support?)")
+	}
+	cpayload, err := cf.Payload(col, maxMetaBytes)
+	if err != nil {
+		return nil, wrapCorrupt(err)
+	}
+	cdec := container.NewDecoder(cpayload)
+	if err := ax.DecodeMirror(cdec); err == nil {
+		err = cdec.Finish()
+	}
+	if err != nil {
+		return nil, corruptf("column section: %v", err)
+	}
+	appliedSeq, err := readDurableSeq(cf)
+	if err != nil {
+		return nil, err
+	}
+	ix := &AppendIndex{ax: ax, disk: d, fd: fwrap, opts: man.opts}
+	du, err := openDurable(oo.WAL, f.Name(), container.KindAppend, appliedSeq,
+		func(op walOp) error {
+			if op.op != opAppend {
+				return fmt.Errorf("operation %d invalid for an append index", op.op)
+			}
+			_, aerr := ax.Append(op.ch)
+			return aerr
+		},
+		ix.emitSections)
+	if err != nil {
+		return nil, err
+	}
+	ix.dur = du
+	return &Opened{Append: ix, f: f, dur: du}, nil
+}
+
 func openDynamic(f *os.File, cf *container.File, man manifest, oo OpenOptions) (*Opened, error) {
 	if man.shards != 1 {
 		return nil, corruptf("dynamic container declares %d shards", man.shards)
@@ -645,5 +887,35 @@ func openDynamic(f *os.File, cf *container.File, man manifest, oo OpenOptions) (
 		return nil, corruptf("index holds %d rows, manifest declares %d", dx.Len(), man.n)
 	}
 	ix := &DynamicIndex{dx: dx, disk: d, fd: fwrap, opts: opts}
-	return &Opened{Dynamic: ix, f: f}, nil
+	if oo.WAL == nil {
+		return &Opened{Dynamic: ix, f: f}, nil
+	}
+	// The dynamic index replays onto a writable device even for read-only
+	// opens, so the durable path only adds the log: recover the watermark and
+	// replay the suffix.
+	appliedSeq, err := readDurableSeq(cf)
+	if err != nil {
+		return nil, err
+	}
+	du, err := openDurable(oo.WAL, f.Name(), container.KindDynamic, appliedSeq,
+		func(op walOp) error {
+			var aerr error
+			switch op.op {
+			case opAppend:
+				_, aerr = dx.Append(op.ch)
+			case opChange:
+				_, aerr = dx.Change(op.i, op.ch)
+			case opDelete:
+				_, aerr = dx.Delete(op.i)
+			default:
+				aerr = fmt.Errorf("unknown operation %d", op.op)
+			}
+			return aerr
+		},
+		ix.emitSections)
+	if err != nil {
+		return nil, err
+	}
+	ix.dur = du
+	return &Opened{Dynamic: ix, f: f, dur: du}, nil
 }

@@ -26,10 +26,14 @@ type Range struct {
 //   - a corrupt block serves its data with one deterministic bit flipped,
 //     which the decode pipeline surfaces as a corruption error.
 //
-// Faults fire only on charged device reads — never on writes, never on
-// blocks already resident in the session or block cache — and only while
-// armed (ShardedIndex.ArmFaults). Shard i draws from Seed+i, so shards fail
-// independently like independent physical devices.
+// Read faults fire only on charged device reads — never on blocks already
+// resident in the session or block cache — and only while armed
+// (ShardedIndex.ArmFaults). Write faults (FailedWritePer10k,
+// ShortWritePer10k) fire on the write path of writable devices: a faulty
+// block's first write fails, tearing the multi-block write it belongs to
+// exactly as a crashed device write would; the block then heals so a retry
+// succeeds. Shard i draws from Seed+i, so shards fail independently like
+// independent physical devices.
 type FaultConfig struct {
 	Seed int64
 	// TransientPer10k, PermanentPer10k and CorruptPer10k are per-10000 block
@@ -42,6 +46,13 @@ type FaultConfig struct {
 	CorruptPer10k   int
 	// ReadLatency is injected before every charged read while armed.
 	ReadLatency time.Duration
+	// FailedWritePer10k and ShortWritePer10k are per-10000 block
+	// probabilities of the write-side fates: a failed write tears before the
+	// faulty block's bits are applied, a short write after. Each fires once
+	// per block, then the block heals. Enabling them leaves the read-fault
+	// schedule of a given Seed bit-identical.
+	FailedWritePer10k int
+	ShortWritePer10k  int
 }
 
 func (fc *FaultConfig) toInternal() *iomodel.FaultConfig {
@@ -49,12 +60,14 @@ func (fc *FaultConfig) toInternal() *iomodel.FaultConfig {
 		return nil
 	}
 	return &iomodel.FaultConfig{
-		Seed:            fc.Seed,
-		TransientPer10k: fc.TransientPer10k,
-		TransientCount:  fc.TransientCount,
-		PermanentPer10k: fc.PermanentPer10k,
-		CorruptPer10k:   fc.CorruptPer10k,
-		ReadLatency:     fc.ReadLatency,
+		Seed:              fc.Seed,
+		TransientPer10k:   fc.TransientPer10k,
+		TransientCount:    fc.TransientCount,
+		PermanentPer10k:   fc.PermanentPer10k,
+		CorruptPer10k:     fc.CorruptPer10k,
+		ReadLatency:       fc.ReadLatency,
+		FailedWritePer10k: fc.FailedWritePer10k,
+		ShortWritePer10k:  fc.ShortWritePer10k,
 	}
 }
 
