@@ -297,6 +297,13 @@ func NewFaultDiskOn(d *Disk, fc FaultConfig) (*FaultDisk, error) {
 	return &FaultDisk{Disk: d, sched: newFaultSched(fc)}, nil
 }
 
+// FreezeView returns a read-only FaultDisk over a Freeze view of the wrapped
+// disk, sharing the same fault schedule (and its armed state), so snapshot
+// readers draw the same deterministic per-block fates as live readers.
+func (fd *FaultDisk) FreezeView() *FaultDisk {
+	return &FaultDisk{Disk: fd.Disk.Freeze(), sched: fd.sched}
+}
+
 // Arm enables the fault schedule for subsequently opened sessions and reads.
 func (fd *FaultDisk) Arm() { fd.sched.armed.Store(true) }
 

@@ -107,6 +107,14 @@ type Disk struct {
 	// becomes a block mirror (or mmap window) populated on first charged read,
 	// and the device is read-only. See FileDisk.
 	file *fileBacking
+	// frozen marks an immutable point-in-time view produced by Freeze. A
+	// frozen device rejects allocation and writes exactly like a file-backed
+	// one, so any number of readers can share it without coordination.
+	frozen bool
+	// cowPending is set on the live device by Freeze: the next mutation must
+	// first clone buf (copy-on-write) so outstanding frozen views keep the
+	// bytes they captured. Only the writer mutates, so no lock is needed.
+	cowPending bool
 	// touches recycles Touch sessions: the per-session block sets are maps,
 	// and clearing them on Close is far cheaper than reallocating them for
 	// every query in the steady-state pooled pipeline. batches does the same
@@ -280,6 +288,47 @@ func (d *Disk) FreeList() []BlockID {
 // FileBacked reports whether the device serves a read-only file image.
 func (d *Disk) FileBacked() bool { return d.file != nil }
 
+// Frozen reports whether the device is an immutable Freeze view.
+func (d *Disk) Frozen() bool { return d.frozen }
+
+// Freeze returns an immutable point-in-time view of the device: a read-only
+// Disk sharing the current backing bytes. The view keeps exactly the bits
+// allocated at the call; it has its own Stats and session pools, so reads
+// against it never perturb the live device's counters. The live device stays
+// writable — its first mutation after a Freeze clones the backing array
+// (copy-on-write), so views are stable no matter what the writer does next,
+// including freeing and reusing blocks. Freeze is a writer-side operation:
+// like allocation, it must not race with writes. Panics with ErrReadOnly on
+// a file-backed device (freeze the in-memory mirror's owner instead).
+func (d *Disk) Freeze() *Disk {
+	if d.file != nil {
+		panic(ErrReadOnly)
+	}
+	d.ensure(d.tailBits)
+	n := (d.tailBits + 7) / 8
+	v := &Disk{
+		cfg:      d.cfg,
+		buf:      d.buf[:n:n],
+		tailBits: d.tailBits,
+		frozen:   true,
+	}
+	d.cowPending = true
+	return v
+}
+
+// prepWrite makes the backing array private to the live device before a
+// mutation: if a Freeze view may still share it, the bytes are cloned first.
+// Every buf-mutating path (AllocStream, AllocBlock, Touch.WriteBits,
+// Touch.WriteStream) calls this; grow-only paths need not, because ensure's
+// appended bytes lie beyond every view's captured range.
+func (d *Disk) prepWrite() {
+	if !d.cowPending {
+		return
+	}
+	d.cowPending = false
+	d.buf = append(make([]byte, 0, len(d.buf)+len(d.buf)/2), d.buf...)
+}
+
 func (d *Disk) ensure(bits int64) {
 	need := int((bits + 7) / 8)
 	for len(d.buf) < need {
@@ -344,9 +393,10 @@ func (d *Disk) getBits(pos int64, n int) uint64 {
 // the paper's concatenated per-level bitmap layouts are realised. Panics with
 // ErrReadOnly on a file-backed device (reopened indexes never allocate).
 func (d *Disk) AllocStream(w *bitio.Writer) Extent {
-	if d.file != nil {
+	if d.file != nil || d.frozen {
 		panic(ErrReadOnly)
 	}
+	d.prepWrite()
 	ext := Extent{Off: d.tailBits, Bits: int64(w.Len())}
 	d.ensure(d.tailBits + ext.Bits)
 	if d.tailBits&7 == 0 {
@@ -375,7 +425,7 @@ func (d *Disk) AllocStream(w *bitio.Writer) Extent {
 // AlignToBlock pads the allocation tail to a block boundary. Panics with
 // ErrReadOnly on a file-backed device.
 func (d *Disk) AlignToBlock() {
-	if d.file != nil {
+	if d.file != nil || d.frozen {
 		panic(ErrReadOnly)
 	}
 	bb := int64(d.cfg.BlockBits)
@@ -388,9 +438,10 @@ func (d *Disk) AlignToBlock() {
 // AllocBlock returns a zeroed whole block, reusing freed blocks if possible.
 // Panics with ErrReadOnly on a file-backed device.
 func (d *Disk) AllocBlock() BlockID {
-	if d.file != nil {
+	if d.file != nil || d.frozen {
 		panic(ErrReadOnly)
 	}
+	d.prepWrite()
 	if n := len(d.free); n > 0 {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
@@ -412,7 +463,7 @@ func (d *Disk) AllocBlock() BlockID {
 // FreeBlock returns a block to the free list. Panics with ErrReadOnly on a
 // file-backed device.
 func (d *Disk) FreeBlock(id BlockID) {
-	if d.file != nil {
+	if d.file != nil || d.frozen {
 		panic(ErrReadOnly)
 	}
 	d.free = append(d.free, id)
@@ -660,7 +711,7 @@ func (t *Touch) WriteBits(pos int64, v uint64, n int) error {
 	if pos < 0 || pos+int64(n) > t.d.tailBits {
 		return ErrInvalidRange
 	}
-	if t.d.file != nil {
+	if t.d.file != nil || t.d.frozen {
 		return ErrReadOnly
 	}
 	if n == 0 {
@@ -672,6 +723,7 @@ func (t *Touch) WriteBits(pos int64, v uint64, n int) error {
 	if keep > 0 {
 		// Apply the (possibly torn) prefix: the high keep bits of v. Applied
 		// blocks stay applied — an injected fault tears, it never rolls back.
+		t.d.prepWrite()
 		t.markWrite(from, t.d.blockOf(pos+keep-1))
 		t.d.putBits(pos, v>>uint(int64(n)-keep), int(keep))
 	}
@@ -737,7 +789,7 @@ func (t *Touch) WriteStream(ext Extent, w *bitio.Writer) error {
 	if ext.Off < 0 || ext.End() > t.d.tailBits {
 		return ErrInvalidRange
 	}
-	if t.d.file != nil {
+	if t.d.file != nil || t.d.frozen {
 		return ErrReadOnly
 	}
 	if w.Len() == 0 {
@@ -747,6 +799,7 @@ func (t *Touch) WriteStream(ext Extent, w *bitio.Writer) error {
 	_, _ = t.markRead(from, to, false) // residency charge: read faults don't fire here
 	keep, ferr := t.faultWrite(from, to, ext.Off, ext.Off+int64(w.Len()))
 	if keep > 0 {
+		t.d.prepWrite()
 		t.markWrite(from, t.d.blockOf(ext.Off+keep-1))
 		r := bitio.NewReader(w.Bytes(), int(keep))
 		pos := ext.Off

@@ -60,6 +60,11 @@ const (
 	// SyncTimed syncs when Interval has elapsed since the last sync, checked
 	// at each append.
 	SyncTimed
+	// SyncManual never syncs from Append: durability is whatever explicit
+	// Sync calls the owner issues. This is the group-commit mode — a commit
+	// coordinator batches appends from many writers and issues one Sync for
+	// the whole batch.
+	SyncManual
 )
 
 // Policy is a complete sync policy.
@@ -99,6 +104,7 @@ type Writer struct {
 	written int64  // bytes written, including the file header
 	durable int64  // bytes covered by a successful sync
 	pending int    // records appended since the last sync
+	syncs   int64  // device syncs actually issued for records (group-commit accounting)
 	last    time.Time
 	scratch []byte
 	err     error
@@ -189,6 +195,8 @@ func (w *Writer) shouldSync() bool {
 			(w.pol.WindowOps > 0 && w.pending >= w.pol.WindowOps)
 	case SyncTimed:
 		return time.Since(w.last) >= w.pol.Interval
+	case SyncManual:
+		return false
 	}
 	return true
 }
@@ -208,6 +216,7 @@ func (w *Writer) Sync() error {
 		w.err = err
 		return err
 	}
+	w.syncs++
 	w.durable = w.written
 	w.synced = w.seq
 	w.pending = 0
@@ -236,6 +245,12 @@ func (w *Writer) SyncedSeq() uint64 { return w.synced }
 
 // Written returns the bytes written to the log, including the file header.
 func (w *Writer) Written() int64 { return w.written }
+
+// SyncCount returns the number of device syncs actually issued for record
+// durability (no-op Syncs with nothing outstanding are not counted). Group
+// commit is measurable here: batched writers should see far fewer syncs than
+// acknowledged records.
+func (w *Writer) SyncCount() int64 { return w.syncs }
 
 // Err returns the sticky error, if any.
 func (w *Writer) Err() error { return w.err }

@@ -1,0 +1,927 @@
+package secidx
+
+// The linearizability/consistency chaos harness for concurrent handles
+// (Options.Concurrent / OpenOptions.Concurrent): N reader goroutines pin
+// snapshots and query while M writer goroutines append, change and delete.
+// Every snapshot carries a version — the count of applied operations (the
+// WAL sequence number on durable handles) — and the writer path records the
+// applied operations in order (the history hook), so after the run every
+// observed read is checked bit-for-bit against a sequential replay of the
+// operation prefix at the observed version. Run under -race these tests
+// also pin the memory-model claims: epoch publication and pinning are
+// data-race free, readers never block on writers, and retired epochs drain.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/iomodel"
+	"repro/internal/wal"
+)
+
+// replayRecs applies the first k recorded operations to a copy of initial,
+// with the usual deleted-row sentinel. The recs must be version-contiguous
+// (the writer lock guarantees it; verified by verifyObservations).
+func replayRecs(initial []uint32, recs []opRec, k int) []uint32 {
+	col := append([]uint32(nil), initial...)
+	for _, r := range recs[:k] {
+		switch r.op.op {
+		case opAppend:
+			col = append(col, r.op.ch)
+		case opChange:
+			col[r.op.i] = r.op.ch
+		case opDelete:
+			col[r.op.i] = ^uint32(0)
+		}
+	}
+	return col
+}
+
+// observation is one recorded read: the snapshot version it ran against,
+// the range it asked, and the rows it got.
+type observation struct {
+	version uint64
+	lo, hi  uint32
+	rows    []int64
+}
+
+// verifyObservations replays the history prefix for every observed version
+// and demands bit-identical answers. base is the version of the initial
+// state (0 for built handles, the recovered watermark for reopened ones).
+func verifyObservations(t *testing.T, initial []uint32, recs []opRec, base uint64, obs []observation) {
+	t.Helper()
+	for i, r := range recs {
+		if r.seq != base+uint64(i)+1 {
+			t.Fatalf("history record %d has version %d, want %d: writer serialization broke", i, r.seq, base+uint64(i)+1)
+		}
+	}
+	models := map[uint64][]uint32{}
+	for _, ob := range obs {
+		if ob.version < base || ob.version > base+uint64(len(recs)) {
+			t.Fatalf("observed version %d outside [%d, %d]", ob.version, base, base+uint64(len(recs)))
+		}
+		col, ok := models[ob.version]
+		if !ok {
+			col = replayRecs(initial, recs, int(ob.version-base))
+			models[ob.version] = col
+		}
+		want := modelRows(col)(ob.lo, ob.hi)
+		if len(ob.rows) != len(want) {
+			t.Fatalf("version %d query [%d,%d]: %d rows, want %d\n got %v\nwant %v",
+				ob.version, ob.lo, ob.hi, len(ob.rows), len(want), ob.rows, want)
+		}
+		for j := range want {
+			if ob.rows[j] != want[j] {
+				t.Fatalf("version %d query [%d,%d]: row %d is %d, want %d", ob.version, ob.lo, ob.hi, j, ob.rows[j], want[j])
+			}
+		}
+	}
+}
+
+// snapshotReader runs until stop flips: pin a snapshot, read its version,
+// run a couple of random range queries against it, record the observations.
+// retries bounds transient-fault retries per query (0 = fail on any error).
+func snapshotReader(sigma int, seed int64, stop *atomic.Bool, snap func() (*Snapshot, error), retries int) ([]observation, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var obs []observation
+	for !stop.Load() {
+		s, err := snap()
+		if err != nil {
+			return obs, err
+		}
+		v := s.Version()
+		for q := 0; q < 2; q++ {
+			lo := uint32(rng.Intn(sigma))
+			hi := lo + uint32(rng.Intn(sigma-int(lo)))
+			var res *Result
+			for attempt := 0; ; attempt++ {
+				res, _, err = s.Query(lo, hi)
+				if err == nil {
+					break
+				}
+				if attempt >= retries {
+					s.Release()
+					return obs, fmt.Errorf("snapshot query [%d,%d] at version %d: %w", lo, hi, v, err)
+				}
+			}
+			if got := s.Version(); got != v {
+				s.Release()
+				return obs, fmt.Errorf("snapshot version moved mid-read: %d then %d", v, got)
+			}
+			obs = append(obs, observation{version: v, lo: lo, hi: hi, rows: res.Rows()})
+		}
+		s.Release()
+	}
+	return obs, nil
+}
+
+// runReaders fans out n snapshotReaders, runs the workload in the calling
+// goroutine, and collects every observation once the workload is done.
+func runReaders(t *testing.T, n, sigma int, stop *atomic.Bool, snap func() (*Snapshot, error), retries int, workload func()) []observation {
+	t.Helper()
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		all    []observation
+		rdErrs []error
+	)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			obs, err := snapshotReader(sigma, int64(1000+r), stop, snap, retries)
+			mu.Lock()
+			all = append(all, obs...)
+			if err != nil {
+				rdErrs = append(rdErrs, err)
+			}
+			mu.Unlock()
+		}(r)
+	}
+	workload()
+	stop.Store(true)
+	wg.Wait()
+	for _, err := range rdErrs {
+		t.Fatalf("reader: %v", err)
+	}
+	if len(all) == 0 {
+		t.Fatal("readers recorded no observations")
+	}
+	return all
+}
+
+// assertNoLeaks fails the test if the goroutine count has not returned to
+// its starting level shortly after the chaos run.
+func assertNoLeaks(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// dynWorkload runs m writer goroutines of mixed operations. Each writer
+// owns a disjoint slice of the initial rows, so changes and deletes never
+// contend on validity, and appends are always valid. A tolerated error
+// (tolerate non-nil and true) stops that writer quietly — its failed
+// operation was neither recorded nor published, so the oracle stands; any
+// other error fails the test. Returns when every writer is done.
+func dynWorkload(t *testing.T, m, opsPer, initialLen, sigma int, tolerate func(error) bool,
+	doAppend func(uint32) error, doChange func(int64, uint32) error, doDelete func(int64) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, m)
+	rowsPer := initialLen / m
+	for w := 0; w < m; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(77 + w)))
+			own := make([]int64, 0, rowsPer)
+			for i := w * rowsPer; i < (w+1)*rowsPer; i++ {
+				own = append(own, int64(i))
+			}
+			for i := 0; i < opsPer; i++ {
+				var err error
+				switch k := rng.Intn(4); {
+				case k <= 1 || doChange == nil:
+					err = doAppend(uint32(rng.Intn(sigma)))
+				case k == 2 && len(own) > 0:
+					err = doChange(own[rng.Intn(len(own))], uint32(rng.Intn(sigma)))
+				case len(own) > 0:
+					j := rng.Intn(len(own))
+					err = doDelete(own[j])
+					own = append(own[:j], own[j+1:]...)
+				default:
+					err = doAppend(uint32(rng.Intn(sigma)))
+				}
+				if err != nil {
+					if tolerate != nil && tolerate(err) {
+						return
+					}
+					errs <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearizableAppendConcurrent: N readers against M appending writers on
+// a built concurrent AppendIndex; every read must equal the sequential
+// replay at its snapshot version.
+func TestLinearizableAppendConcurrent(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const sigma, writers, readers, opsPer = 8, 4, 4, 48
+	initial := randColumn(64, sigma, 5)
+	ix, err := BuildAppend(initial, sigma, Options{Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.history = &opLog{}
+
+	var stop atomic.Bool
+	obs := runReaders(t, readers, sigma, &stop, ix.Snapshot, 0, func() {
+		dynWorkload(t, writers, opsPer, len(initial), sigma, nil,
+			func(ch uint32) error { _, err := ix.Append(ch); return err }, nil, nil)
+	})
+
+	recs := ix.history.snapshot()
+	if len(recs) != writers*opsPer {
+		t.Fatalf("history holds %d ops, want %d", len(recs), writers*opsPer)
+	}
+	verifyObservations(t, initial, recs, 0, obs)
+	// The live index agrees with the full replay — the public query path
+	// still routes through the final epoch.
+	final := replayRecs(initial, recs, len(recs))
+	queriesEqual(t, sigma, appendRows(ix), modelRows(final))
+	if pins := ix.epochs.livePins(); pins != 0 {
+		t.Fatalf("%d epoch pins still live after the run", pins)
+	}
+	assertNoLeaks(t, before)
+}
+
+// TestLinearizableDynamicConcurrent: the same harness over the fully
+// dynamic index with mixed append/change/delete writers.
+func TestLinearizableDynamicConcurrent(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const sigma, writers, readers, opsPer = 6, 4, 4, 32
+	initial := randColumn(64, sigma, 9)
+	ix, err := BuildDynamic(initial, sigma, Options{Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.history = &opLog{}
+
+	var stop atomic.Bool
+	obs := runReaders(t, readers, sigma, &stop, ix.Snapshot, 0, func() {
+		dynWorkload(t, writers, opsPer, len(initial), sigma, nil,
+			func(ch uint32) error { _, err := ix.Append(ch); return err },
+			func(i int64, ch uint32) error { _, err := ix.Change(i, ch); return err },
+			func(i int64) error { _, err := ix.Delete(i); return err })
+	})
+
+	recs := ix.history.snapshot()
+	verifyObservations(t, initial, recs, 0, obs)
+	final := replayRecs(initial, recs, len(recs))
+	queriesEqual(t, sigma, dynamicRows(ix), modelRows(final))
+	if pins := ix.epochs.livePins(); pins != 0 {
+		t.Fatalf("%d epoch pins still live after the run", pins)
+	}
+	assertNoLeaks(t, before)
+}
+
+// TestLinearizableDynamicUnderFaults arms a transient-read fault schedule in
+// the middle of the run — ArmFaults/DisarmFaults racing every other
+// goroutine — with readers retrying faulted snapshot queries. Reads that
+// succeed must still be bit-identical to the oracle. The writer is single
+// (updates are not fault-atomic: a faulted read mid-update may leave the
+// live structure part-mutated, which is fine precisely because the failed
+// operation is never published — but a second writer would then build on
+// unpublished state, so one writer stops at its first fault instead).
+func TestLinearizableDynamicUnderFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const sigma, readers, opsPer = 6, 4, 96
+	initial := randColumn(48, sigma, 13)
+	ix, err := BuildDynamic(initial, sigma, Options{
+		Concurrent: true,
+		Faults:     &FaultConfig{Seed: 21, TransientPer10k: 2000, TransientCount: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.history = &opLog{}
+
+	transientOnly := func(err error) bool { return errors.Is(err, iomodel.ErrTransientRead) }
+	var stop atomic.Bool
+	obs := runReaders(t, readers, sigma, &stop, ix.Snapshot, 400, func() {
+		done := make(chan struct{})
+		go func() { // arming and disarming race every other goroutine
+			defer close(done)
+			for i := 0; i < 40; i++ {
+				ix.ArmFaults()
+				time.Sleep(300 * time.Microsecond)
+				ix.DisarmFaults()
+				time.Sleep(100 * time.Microsecond)
+			}
+			ix.ArmFaults()
+		}()
+		dynWorkload(t, 1, opsPer, len(initial), sigma, transientOnly,
+			func(ch uint32) error { _, err := ix.Append(ch); return err },
+			func(i int64, ch uint32) error { _, err := ix.Change(i, ch); return err },
+			func(i int64) error { _, err := ix.Delete(i); return err })
+		<-done
+		ix.DisarmFaults()
+	})
+
+	verifyObservations(t, initial, ix.history.snapshot(), 0, obs)
+	if pins := ix.epochs.livePins(); pins != 0 {
+		t.Fatalf("%d epoch pins still live after the run", pins)
+	}
+	assertNoLeaks(t, before)
+}
+
+// slowSyncFS delays every file Sync, making the group-commit convoy visible:
+// while one writer waits out the sync, the others queue their appends behind
+// it, and the next barrier acknowledges them all at once.
+type slowSyncFS struct {
+	wal.FS
+	delay time.Duration
+}
+
+type slowSyncFile struct {
+	wal.File
+	delay time.Duration
+}
+
+func (s slowSyncFS) Create(name string) (wal.File, error) {
+	f, err := s.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return slowSyncFile{File: f, delay: s.delay}, nil
+}
+
+func (s slowSyncFS) OpenResume(name string, size int64) (wal.File, error) {
+	f, err := s.FS.OpenResume(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return slowSyncFile{File: f, delay: s.delay}, nil
+}
+
+func (f slowSyncFile) Sync() error {
+	time.Sleep(f.delay)
+	return f.File.Sync()
+}
+
+// TestGroupCommitFewerSyncs: concurrent writers on a durable Concurrent
+// handle under SyncEveryOp must acknowledge every operation as durable while
+// issuing measurably fewer device syncs than operations — the group-commit
+// batching the WAL's sync counter makes observable.
+func TestGroupCommitFewerSyncs(t *testing.T) {
+	const sigma, writers, opsPer = 5, 8, 32
+	initial := randColumn(32, sigma, 3)
+	ix, err := BuildAppend(initial, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "group.secidx")
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	o, err := OpenFile(path, OpenOptions{
+		Concurrent: true,
+		WAL: &WALOptions{
+			Policy:          SyncEveryOp,
+			CheckpointBytes: -1, // keep one WAL writer alive: its SyncCount is the measurement
+			fsys:            slowSyncFS{FS: wal.OS, delay: 500 * time.Microsecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPer; i++ {
+				if _, err := o.Append.Append(uint32(rng.Intn(sigma))); err != nil {
+					errs <- err
+					return
+				}
+				// SyncEveryOp's contract survives grouping: once my i-th op is
+				// acknowledged, at least i+1 operations are durable (my own
+				// ops have distinct increasing sequence numbers, so the i-th
+				// has seq ≥ i+1, and acknowledgement waits for the watermark).
+				if d := o.DurableSeq(); d < uint64(i+1) {
+					errs <- fmt.Errorf("durable watermark %d below acknowledged op %d", d, i+1)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	ops := uint64(writers * opsPer)
+	if got := o.LastSeq(); got != ops {
+		t.Fatalf("LastSeq = %d, want %d", got, ops)
+	}
+	if o.DurableSeq() != ops {
+		t.Fatalf("DurableSeq = %d, want %d: SyncEveryOp must not acknowledge undurable ops", o.DurableSeq(), ops)
+	}
+	syncs := o.dur.w.SyncCount()
+	if syncs < 1 || syncs > int64(ops)*3/4 {
+		t.Fatalf("group commit issued %d syncs for %d ops; want ≥1 and measurably fewer than ops", syncs, ops)
+	}
+	t.Logf("group commit: %d ops, %d syncs (%.1f ops/sync)", ops, syncs, float64(ops)/float64(syncs))
+}
+
+// TestLinearizableDurableConcurrent is the full stack: a dynamic container
+// reopened writable and Concurrent, mixed-op writers group-committing
+// through the WAL, checkpoints firing mid-run, snapshot readers verifying
+// against the oracle at WAL sequence numbers — then a clean close and a
+// read-only reopen that must equal the full replay.
+func TestLinearizableDurableConcurrent(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const sigma, writers, readers, opsPer = 6, 4, 3, 24
+	initial := randColumn(48, sigma, 17)
+	built, err := BuildDynamic(initial, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dyn.secidx")
+	if err := built.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	o, err := OpenFile(path, OpenOptions{
+		Concurrent: true,
+		WAL:        &WALOptions{Policy: SyncEveryOp, CheckpointOps: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := o.Dynamic
+	ix.history = &opLog{}
+
+	var stop atomic.Bool
+	obs := runReaders(t, readers, sigma, &stop, ix.Snapshot, 0, func() {
+		dynWorkload(t, writers, opsPer, len(initial), sigma, nil,
+			func(ch uint32) error { _, err := ix.Append(ch); return err },
+			func(i int64, ch uint32) error { _, err := ix.Change(i, ch); return err },
+			func(i int64) error { _, err := ix.Delete(i); return err })
+	})
+
+	recs := ix.history.snapshot()
+	if len(recs) != writers*opsPer {
+		t.Fatalf("history holds %d ops, want %d", len(recs), writers*opsPer)
+	}
+	verifyObservations(t, initial, recs, 0, obs)
+	final := replayRecs(initial, recs, len(recs))
+	queriesEqual(t, sigma, dynamicRows(ix), modelRows(final))
+	if pins := ix.epochs.livePins(); pins != 0 {
+		t.Fatalf("%d epoch pins still live after the run", pins)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	ro, err := OpenFile(path, OpenOptions{})
+	if err != nil {
+		t.Fatalf("read-only reopen: %v", err)
+	}
+	defer ro.Close()
+	queriesEqual(t, sigma, dynamicRows(ro.Dynamic), modelRows(final))
+	assertNoLeaks(t, before)
+}
+
+// TestConcurrentCrashRecovery runs concurrent group-committed writers on the
+// journaling CrashFS, then crashes at sampled points of the write history
+// and recovers: the recovered sequence number must fall between the durable
+// watermark any writer had observed by the crash tick and the number of
+// operations started by then, and the recovered index must answer every
+// query bit-identically to the replayed operation prefix at that sequence.
+func TestConcurrentCrashRecovery(t *testing.T) {
+	const sigma, writers, opsPer = 5, 4, 16
+	initial := []uint32{3, 1, 4, 1, 0, 2, 3, 2, 4, 0, 1, 3}
+	built, err := BuildAppend(initial, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash.secidx")
+	if err := built.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs := wal.NewCrashFS()
+	cfs.Seed(path, base)
+	seedClock := cfs.Clock()
+
+	o, err := OpenFile(path, OpenOptions{
+		Concurrent: true,
+		WAL:        &WALOptions{fsys: cfs, Policy: SyncEveryOp, CheckpointOps: 25, CheckpointBytes: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Append.history = &opLog{} // records the exact log order of the ops
+
+	// With concurrent writers an op's own sequence number is unknowable from
+	// outside, so the crash bounds are aggregate: an op that started by tick
+	// c contributes at most one log record by c (upper bound = count of
+	// started ops), and a durable watermark D read with a tick taken AFTER
+	// it proves ops 1..D survive any crash at or beyond that tick (the sync
+	// backing D journaled before the read returned).
+	type ack struct {
+		start   int64
+		durable uint64
+		durTick int64
+	}
+	var (
+		mu    sync.Mutex
+		acks  []ack
+		wg    sync.WaitGroup
+		wErrs = make(chan error, writers)
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(31 + w)))
+			for i := 0; i < opsPer; i++ {
+				start := cfs.Clock()
+				if _, err := o.Append.Append(uint32(rng.Intn(sigma))); err != nil {
+					wErrs <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+					return
+				}
+				durable := o.DurableSeq()
+				durTick := cfs.Clock()
+				mu.Lock()
+				acks = append(acks, ack{start: start, durable: durable, durTick: durTick})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(wErrs)
+	for err := range wErrs {
+		t.Fatal(err)
+	}
+	recs := o.Append.history.snapshot()
+	if len(recs) != writers*opsPer {
+		t.Fatalf("history holds %d ops, want %d", len(recs), writers*opsPer)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatalf("workload close: %v", err)
+	}
+	events := cfs.Events()
+	endClock := cfs.Clock()
+
+	// Crash points: every event boundary plus interior bytes of small writes
+	// (the torn-log-record cases) and sampled offsets of large ones.
+	tickSet := map[int64]bool{seedClock: true, endClock: true}
+	for _, ev := range events {
+		if ev.Start < seedClock {
+			continue
+		}
+		tickSet[ev.Start] = true
+		if ev.Kind == wal.EvWrite {
+			n := int64(len(ev.Data))
+			if n <= 64 {
+				for b := int64(1); b < n; b += 7 {
+					tickSet[ev.Start+b] = true
+				}
+			} else {
+				for _, b := range []int64{1, n / 2, n - 1} {
+					tickSet[ev.Start+b] = true
+				}
+			}
+		}
+	}
+	ticks := make([]int64, 0, len(tickSet))
+	for c := range tickSet {
+		ticks = append(ticks, c)
+	}
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+	stride := 1
+	if testing.Short() {
+		stride = 5
+	}
+
+	colMemo := map[uint64][]uint32{}
+	scratch := filepath.Join(dir, "recover")
+	points := 0
+	for i := 0; i < len(ticks); i += stride {
+		c := ticks[i]
+		var minK, maxK uint64
+		for _, a := range acks {
+			if a.durTick <= c && a.durable > minK {
+				minK = a.durable
+			}
+			if a.start <= c {
+				maxK++
+			}
+		}
+		for _, optimistic := range []bool{true, false} {
+			st := wal.StateAt(events, c, optimistic)
+			if err := os.RemoveAll(scratch); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.MkdirAll(scratch, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for name, data := range st {
+				if err := os.WriteFile(filepath.Join(scratch, filepath.Base(name)), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rp := filepath.Join(scratch, filepath.Base(path))
+			ro, err := OpenFile(rp, OpenOptions{WAL: &WALOptions{CheckpointBytes: -1}})
+			if err != nil {
+				t.Fatalf("tick %d optimistic=%v: recovery failed: %v", c, optimistic, err)
+			}
+			k := ro.LastSeq()
+			if k < minK || k > maxK {
+				ro.Close()
+				t.Fatalf("tick %d optimistic=%v: recovered seq %d outside [%d, %d]", c, optimistic, k, minK, maxK)
+			}
+			col, ok := colMemo[k]
+			if !ok {
+				col = replayRecs(initial, recs, int(k))
+				colMemo[k] = col
+			}
+			queriesEqual(t, sigma, appendRows(ro.Append), modelRows(col))
+			if err := ro.Close(); err != nil {
+				t.Fatalf("tick %d optimistic=%v: close after recovery: %v", c, optimistic, err)
+			}
+			points++
+		}
+	}
+	if points < 20 {
+		t.Fatalf("only %d crash points checked — the harness lost its teeth", points)
+	}
+	t.Logf("concurrent crash recovery: %d crash points held", points)
+}
+
+// TestOpenFileLocked: a second writable open of a live container fails with
+// ErrLocked; read-only opens pass; the lock releases with Close.
+func TestOpenFileLocked(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("advisory lock is a no-op off unix")
+	}
+	ix, err := BuildAppend([]uint32{1, 2, 3, 0, 2}, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "locked.secidx")
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	o1, err := OpenFile(path, OpenOptions{WAL: &WALOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, OpenOptions{WAL: &WALOptions{}}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second writable open: %v, want ErrLocked", err)
+	}
+	ro, err := OpenFile(path, OpenOptions{})
+	if err != nil {
+		t.Fatalf("read-only open while locked: %v", err)
+	}
+	ro.Close()
+	if err := o1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := OpenFile(path, OpenOptions{WAL: &WALOptions{}})
+	if err != nil {
+		t.Fatalf("writable open after release: %v", err)
+	}
+	o2.Close()
+}
+
+// TestCloseConcurrent races Close against in-flight concurrent writers and
+// snapshot readers: no panics, no torn state — an operation either fully
+// completes before the close or fails with ErrClosed, and the handle's
+// public surface keeps answering ErrClosed afterwards.
+func TestCloseConcurrent(t *testing.T) {
+	before := runtime.NumGoroutine()
+	initial := randColumn(32, 5, 23)
+	ix, err := BuildAppend(initial, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "close.secidx")
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	o, err := OpenFile(path, OpenOptions{Concurrent: true, WAL: &WALOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	bad := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := o.Append.Append(uint32((w + i) % 5)); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						bad <- fmt.Errorf("writer %d: %w", w, err)
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s, err := o.Append.Snapshot()
+				if err != nil {
+					return
+				}
+				if _, _, err := s.Query(0, 4); err != nil && !errors.Is(err, ErrClosed) {
+					bad <- fmt.Errorf("snapshot query: %w", err)
+				}
+				s.Release()
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := o.Close(); err != nil {
+		t.Fatalf("Close racing writers: %v", err)
+	}
+	wg.Wait()
+	close(bad)
+	for err := range bad {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := o.Append.Append(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := o.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close: %v, want ErrClosed", err)
+	}
+	if err := o.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: %v, want ErrClosed", err)
+	}
+	assertNoLeaks(t, before)
+}
+
+// FuzzEpochPublication drives a fuzzer-chosen mixed operation sequence on a
+// concurrent DynamicIndex while snapshot readers race the writer, then holds
+// every observation to the sequential-replay oracle. The fuzzer owns the op
+// mix and order — the interleavings it stresses are the publication edge:
+// epochs must always expose fully-applied prefixes, never a mid-op state.
+func FuzzEpochPublication(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x13, 0x88, 0x07, 0xf0, 0x2a, 0x99, 0x56, 0xcd})
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0xfc})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 96 {
+			data = data[:96]
+		}
+		const sigma = 5
+		initial := randColumn(24, sigma, 11)
+		ix, err := BuildDynamic(initial, sigma, Options{Concurrent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.history = &opLog{}
+		live := make([]int64, len(initial))
+		for i := range live {
+			live[i] = int64(i)
+		}
+
+		var (
+			stop  atomic.Bool
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			obs   []observation
+			rErrs []error
+		)
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				o, err := snapshotReader(sigma, int64(500+r), &stop, ix.Snapshot, 0)
+				mu.Lock()
+				obs = append(obs, o...)
+				if err != nil {
+					rErrs = append(rErrs, err)
+				}
+				mu.Unlock()
+			}(r)
+		}
+		for _, b := range data {
+			arg := int(b >> 2)
+			var err error
+			switch {
+			case b&3 <= 1 || len(live) == 0:
+				_, err = ix.Append(uint32(arg % sigma))
+			case b&3 == 2:
+				_, err = ix.Change(live[arg%len(live)], uint32(arg%sigma))
+			default:
+				j := arg % len(live)
+				_, err = ix.Delete(live[j])
+				live = append(live[:j], live[j+1:]...)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		stop.Store(true)
+		wg.Wait()
+		for _, err := range rErrs {
+			t.Fatalf("reader: %v", err)
+		}
+
+		recs := ix.history.snapshot()
+		if len(recs) != len(data) {
+			t.Fatalf("history holds %d ops, want %d", len(recs), len(data))
+		}
+		verifyObservations(t, initial, recs, 0, obs)
+		queriesEqual(t, sigma, dynamicRows(ix), modelRows(replayRecs(initial, recs, len(recs))))
+		if pins := ix.epochs.livePins(); pins != 0 {
+			t.Fatalf("%d epoch pins still live", pins)
+		}
+	})
+}
+
+// TestConcurrentDifferentialFaultFree is the pooled-scratch hygiene check:
+// the same seeded workload applied to a concurrent handle and a plain
+// single-threaded twin must leave bit-identical indexes — scratch or
+// session state leaking between epochs would break the differential.
+func TestConcurrentDifferentialFaultFree(t *testing.T) {
+	const sigma = 6
+	initial := randColumn(40, sigma, 29)
+	conc, err := BuildDynamic(initial, sigma, Options{Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := BuildDynamic(initial, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	live := make([]int64, len(initial))
+	for i := range live {
+		live[i] = int64(i)
+	}
+	for i := 0; i < 120; i++ {
+		switch k := rng.Intn(4); {
+		case k <= 1 || len(live) == 0:
+			ch := uint32(rng.Intn(sigma))
+			if _, err := conc.Append(ch); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := plain.Append(ch); err != nil {
+				t.Fatal(err)
+			}
+		case k == 2:
+			j, ch := live[rng.Intn(len(live))], uint32(rng.Intn(sigma))
+			if _, err := conc.Change(j, ch); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := plain.Change(j, ch); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			j := rng.Intn(len(live))
+			if _, err := conc.Delete(live[j]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := plain.Delete(live[j]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		}
+		// Interleave reads through the epoch path so its sessions get reused.
+		if i%7 == 0 {
+			if _, _, err := conc.Query(0, sigma-1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	queriesEqual(t, sigma, dynamicRows(conc), dynamicRows(plain))
+}

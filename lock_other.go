@@ -1,0 +1,12 @@
+//go:build !unix
+
+package secidx
+
+// On platforms without flock the handle lock degrades to a no-op: writable
+// opens are not mutually excluded, restoring the documented caveat that two
+// live writers on one container are the caller's responsibility.
+type fileLock struct{}
+
+func acquireLock(path string) (*fileLock, error) { return nil, nil }
+
+func (l *fileLock) release() error { return nil }

@@ -1,0 +1,45 @@
+//go:build unix
+
+package secidx
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// fileLock is the advisory lock a writable OpenFile holds for the life of
+// the handle: an exclusive flock on the container's <path>.lock companion
+// file. flock semantics are per open file description, so a second writable
+// open of the same container fails with ErrLocked whether it comes from
+// another process or from this one — exactly the double-writer case the
+// checkpoint rename and the log cannot tolerate. The lock file itself is
+// left in place on release (removing it would race a third opener that
+// already holds its own descriptor to it); only the lock matters, not the
+// file's existence.
+type fileLock struct {
+	f *os.File
+}
+
+// acquireLock takes the exclusive advisory lock at path without blocking.
+// A held lock reports ErrLocked; other failures (permissions, I/O) pass
+// through as themselves.
+func acquireLock(path string) (*fileLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("%w: %s held by another handle", ErrLocked, path)
+		}
+		return nil, fmt.Errorf("secidx: locking %s: %w", path, err)
+	}
+	return &fileLock{f: f}, nil
+}
+
+// release drops the lock. Closing the descriptor releases the flock.
+func (l *fileLock) release() error {
+	return l.f.Close()
+}

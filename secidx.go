@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cbitmap"
@@ -144,6 +145,15 @@ type Options struct {
 	// injector. The schedule is built disarmed: construction never faults;
 	// call ArmFaults on the built index to start injecting.
 	Faults *FaultConfig
+	// Concurrent enables snapshot-isolated concurrent reads on AppendIndex
+	// and DynamicIndex: writers serialize with each other, and after every
+	// applied operation publish an immutable epoch (copy-on-write device
+	// freeze plus a metadata clone) that queries and Snapshot pin without
+	// locking, so reads never block on writes and always observe the state
+	// at exactly some applied operation. Off by default: publication copies
+	// metadata per operation, and the experiments' pinned I/O tables assume
+	// the bare single-threaded device.
+	Concurrent bool
 }
 
 // disk validates the device parameters and creates the simulated disk.
@@ -382,12 +392,30 @@ func (ix *Index) ApproxQueryContext(ctx context.Context, lo, hi uint32, eps floa
 // AppendIndex is the semi-dynamic index of Theorem 4 (or Theorem 5 when
 // Options.Buffered is set): rows may only be appended, the regime of OLAP
 // and scientific data ("typically read and append only").
+//
+// Concurrency contract: with Options.Concurrent (or OpenOptions.Concurrent)
+// set, any number of goroutines may call Query/QueryContext/Snapshot
+// concurrently with each other and with Append from any number of
+// goroutines; writers serialize internally and every read observes the
+// state at exactly some applied operation. Without Concurrent the handle is
+// single-threaded: Append must not race with anything, and only concurrent
+// Query/Query races are safe. ArmFaults/DisarmFaults are always safe to
+// call concurrently with everything.
 type AppendIndex struct {
 	ax   *core.AppendIndex
 	disk *iomodel.Disk
 	fd   *iomodel.FaultDisk // non-nil iff built with Options.Faults
 	dur  *durable           // non-nil iff reopened writable (OpenOptions.WAL)
 	opts Options
+
+	// Concurrent-mode state (nil epochs otherwise). wmu serializes writers
+	// on built (non-durable) handles; durable handles serialize through
+	// dur.mu. version is the sequence number of the last applied operation,
+	// guarded by the respective writer lock.
+	epochs  *epochState
+	wmu     sync.Mutex
+	version uint64
+	history *opLog // test hook: linearizability oracle input
 }
 
 // BuildAppend constructs a semi-dynamic index over an initial column.
@@ -407,11 +435,39 @@ func BuildAppend(data []uint32, sigma int, opts Options) (*AppendIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AppendIndex{ax: ax, disk: d, fd: fd, opts: opts}, nil
+	ix := &AppendIndex{ax: ax, disk: d, fd: fd, opts: opts}
+	if opts.Concurrent {
+		ix.epochs = &epochState{}
+		if err := ix.publishEpoch(0); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// publishEpoch freezes the device, clones the query-path metadata against
+// the frozen view and swaps the pair in as the current epoch. Called with
+// the writer lock held (or before the handle is shared).
+func (ix *AppendIndex) publishEpoch(version uint64) error {
+	cp, err := ix.ax.CloneReadOnly(freezeDevice(ix.disk, ix.fd))
+	if err != nil {
+		return err
+	}
+	ix.version = version
+	ix.epochs.publish(&epoch{version: version, ax: cp})
+	return nil
+}
+
+// Snapshot pins the current epoch: a consistent read-only view of the index
+// as of the last applied operation. Requires a concurrent handle.
+func (ix *AppendIndex) Snapshot() (*Snapshot, error) {
+	return newSnapshot(ix.epochs)
 }
 
 // ArmFaults starts fault injection on an index built with Options.Faults
-// (no-op otherwise).
+// (no-op otherwise). Arming is an atomic flag flip: it is safe against
+// in-flight queries and writers, which observe the schedule from their next
+// device read on.
 func (ix *AppendIndex) ArmFaults() {
 	if ix.fd != nil {
 		ix.fd.Arm()
@@ -427,16 +483,50 @@ func (ix *AppendIndex) DisarmFaults() {
 
 // Append appends a row with key ch. On a handle reopened writable
 // (OpenOptions.WAL) the operation is write-ahead logged before it is
-// applied; acknowledgement follows the handle's SyncPolicy.
+// applied; acknowledgement follows the handle's SyncPolicy (group-committed
+// across concurrent writers on a Concurrent handle). On a concurrent handle
+// the new state is published as an epoch before Append returns, so any
+// query starting after the return observes it.
 func (ix *AppendIndex) Append(ch uint32) (Stats, error) {
 	if ix.dur != nil {
 		return durableApply(ix.dur,
 			func() error { return ix.ax.ValidateAppend(ch) },
 			func() []byte { return encodeOpAppend(ch) },
-			func() (index.QueryStats, error) { return ix.ax.Append(ch) })
+			func() (index.QueryStats, error) { return ix.ax.Append(ch) },
+			ix.durablePublish(walOp{op: opAppend, ch: ch}))
+	}
+	if ix.epochs != nil {
+		ix.wmu.Lock()
+		defer ix.wmu.Unlock()
+		st, err := ix.ax.Append(ch)
+		if err != nil {
+			return fromQS(st), err
+		}
+		if ix.history != nil {
+			ix.history.add(ix.version+1, walOp{op: opAppend, ch: ch})
+		}
+		if perr := ix.publishEpoch(ix.version + 1); perr != nil {
+			return fromQS(st), perr
+		}
+		return fromQS(st), nil
 	}
 	st, err := ix.ax.Append(ch)
 	return fromQS(st), err
+}
+
+// durablePublish returns the epoch-publication callback durableApply runs
+// under the durable lock after applying op, or nil on a handle without
+// concurrent mode.
+func (ix *AppendIndex) durablePublish(op walOp) func(uint64) error {
+	if ix.epochs == nil {
+		return nil
+	}
+	return func(seq uint64) error {
+		if ix.history != nil {
+			ix.history.add(seq, op)
+		}
+		return ix.publishEpoch(seq)
+	}
 }
 
 // Query answers I[lo;hi].
@@ -444,8 +534,16 @@ func (ix *AppendIndex) Query(lo, hi uint32) (*Result, Stats, error) {
 	return ix.QueryContext(context.Background(), lo, hi)
 }
 
-// QueryContext answers I[lo;hi], honouring ctx.
+// QueryContext answers I[lo;hi], honouring ctx. On a concurrent handle the
+// query runs against the current epoch — a consistent snapshot pinned with
+// two atomic operations, never a lock — so it is safe against concurrent
+// writers and observes the state at exactly some applied operation.
 func (ix *AppendIndex) QueryContext(ctx context.Context, lo, hi uint32) (*Result, Stats, error) {
+	if es := ix.epochs; es != nil {
+		e := es.pin()
+		defer es.unpin(e)
+		return e.queryContext(ctx, lo, hi)
+	}
 	bm, st, err := ix.ax.QueryContext(ctx, index.Range{Lo: lo, Hi: hi})
 	if err != nil {
 		return nil, fromQS(st), err
@@ -460,12 +558,26 @@ func (ix *AppendIndex) Len() int64 { return ix.ax.Len() }
 func (ix *AppendIndex) SizeBits() int64 { return ix.ax.SizeBits() }
 
 // DynamicIndex is the fully dynamic index of Theorem 7.
+//
+// Concurrency contract: identical to AppendIndex — with Concurrent set,
+// reads (Query/QueryContext/Snapshot) are safe against each other and
+// against Append/Change/Delete from any number of goroutines, and every
+// read observes the state at exactly some applied operation; without it the
+// handle is single-threaded apart from concurrent read-only queries.
+// Position translation (RawToLive/LiveToRaw/LiveLen) is part of the write
+// path's state and is not snapshot-isolated.
 type DynamicIndex struct {
 	dx   *core.Dynamic
 	disk *iomodel.Disk
 	fd   *iomodel.FaultDisk // non-nil iff built with Options.Faults
 	dur  *durable           // non-nil iff reopened writable (OpenOptions.WAL)
 	opts Options
+
+	// Concurrent-mode state; see AppendIndex.
+	epochs  *epochState
+	wmu     sync.Mutex
+	version uint64
+	history *opLog
 }
 
 // BuildDynamic constructs a fully dynamic index over an initial column.
@@ -484,11 +596,66 @@ func BuildDynamic(data []uint32, sigma int, opts Options) (*DynamicIndex, error)
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicIndex{dx: dx, disk: d, fd: fd, opts: opts}, nil
+	ix := &DynamicIndex{dx: dx, disk: d, fd: fd, opts: opts}
+	if opts.Concurrent {
+		ix.epochs = &epochState{}
+		if err := ix.publishEpoch(0); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// publishEpoch freezes the device, clones the query-path metadata and swaps
+// the pair in as the current epoch. Called with the writer lock held (or
+// before the handle is shared).
+func (ix *DynamicIndex) publishEpoch(version uint64) error {
+	ix.version = version
+	ix.epochs.publish(&epoch{version: version, dx: ix.dx.CloneReadOnly(freezeDevice(ix.disk, ix.fd))})
+	return nil
+}
+
+// Snapshot pins the current epoch: a consistent read-only view of the index
+// as of the last applied operation. Requires a concurrent handle.
+func (ix *DynamicIndex) Snapshot() (*Snapshot, error) {
+	return newSnapshot(ix.epochs)
+}
+
+// applyConcurrent runs one update under the writer lock and publishes the
+// resulting epoch (the built-handle analogue of durableApply's locked
+// section).
+func (ix *DynamicIndex) applyConcurrent(op walOp, apply func() (index.QueryStats, error)) (Stats, error) {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	st, err := apply()
+	if err != nil {
+		return fromQS(st), err
+	}
+	if ix.history != nil {
+		ix.history.add(ix.version+1, op)
+	}
+	if perr := ix.publishEpoch(ix.version + 1); perr != nil {
+		return fromQS(st), perr
+	}
+	return fromQS(st), nil
+}
+
+// durablePublish mirrors AppendIndex.durablePublish.
+func (ix *DynamicIndex) durablePublish(op walOp) func(uint64) error {
+	if ix.epochs == nil {
+		return nil
+	}
+	return func(seq uint64) error {
+		if ix.history != nil {
+			ix.history.add(seq, op)
+		}
+		return ix.publishEpoch(seq)
+	}
 }
 
 // ArmFaults starts fault injection on an index built with Options.Faults
-// (no-op otherwise).
+// (no-op otherwise). Arming is an atomic flag flip, safe against in-flight
+// queries and writers.
 func (ix *DynamicIndex) ArmFaults() {
 	if ix.fd != nil {
 		ix.fd.Arm()
@@ -510,6 +677,11 @@ func (ix *DynamicIndex) Change(i int64, ch uint32) (Stats, error) {
 		return durableApply(ix.dur,
 			func() error { return ix.dx.ValidateChange(i, ch) },
 			func() []byte { return encodeOpChange(i, ch) },
+			func() (index.QueryStats, error) { return ix.dx.Change(i, ch) },
+			ix.durablePublish(walOp{op: opChange, i: i, ch: ch}))
+	}
+	if ix.epochs != nil {
+		return ix.applyConcurrent(walOp{op: opChange, i: i, ch: ch},
 			func() (index.QueryStats, error) { return ix.dx.Change(i, ch) })
 	}
 	st, err := ix.dx.Change(i, ch)
@@ -524,6 +696,11 @@ func (ix *DynamicIndex) Delete(i int64) (Stats, error) {
 		return durableApply(ix.dur,
 			func() error { return ix.dx.ValidateDelete(i) },
 			func() []byte { return encodeOpDelete(i) },
+			func() (index.QueryStats, error) { return ix.dx.Delete(i) },
+			ix.durablePublish(walOp{op: opDelete, i: i}))
+	}
+	if ix.epochs != nil {
+		return ix.applyConcurrent(walOp{op: opDelete, i: i},
 			func() (index.QueryStats, error) { return ix.dx.Delete(i) })
 	}
 	st, err := ix.dx.Delete(i)
@@ -537,6 +714,11 @@ func (ix *DynamicIndex) Append(ch uint32) (Stats, error) {
 		return durableApply(ix.dur,
 			func() error { return ix.dx.ValidateAppend(ch) },
 			func() []byte { return encodeOpAppend(ch) },
+			func() (index.QueryStats, error) { return ix.dx.Append(ch) },
+			ix.durablePublish(walOp{op: opAppend, ch: ch}))
+	}
+	if ix.epochs != nil {
+		return ix.applyConcurrent(walOp{op: opAppend, ch: ch},
 			func() (index.QueryStats, error) { return ix.dx.Append(ch) })
 	}
 	st, err := ix.dx.Append(ch)
@@ -548,8 +730,14 @@ func (ix *DynamicIndex) Query(lo, hi uint32) (*Result, Stats, error) {
 	return ix.QueryContext(context.Background(), lo, hi)
 }
 
-// QueryContext answers I[lo;hi], honouring ctx.
+// QueryContext answers I[lo;hi], honouring ctx. On a concurrent handle the
+// query runs lock-free against the current epoch; see AppendIndex.
 func (ix *DynamicIndex) QueryContext(ctx context.Context, lo, hi uint32) (*Result, Stats, error) {
+	if es := ix.epochs; es != nil {
+		e := es.pin()
+		defer es.unpin(e)
+		return e.queryContext(ctx, lo, hi)
+	}
 	bm, st, err := ix.dx.QueryContext(ctx, index.Range{Lo: lo, Hi: hi})
 	if err != nil {
 		return nil, fromQS(st), err

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/container"
 	"repro/internal/core"
@@ -74,8 +75,20 @@ type OpenOptions struct {
 	// are write-ahead logged before they apply, the log suffix beyond the
 	// base's watermark is replayed at open, and checkpoints atomically
 	// rewrite the container (see WALOptions). Static and sharded containers
-	// reject it — they have no update operations to log.
+	// reject it — they have no update operations to log. A writable open
+	// takes an advisory lock on <path>.lock; a second writable open of the
+	// same container (from this or any process) fails with ErrLocked until
+	// the first handle closes.
 	WAL *WALOptions
+	// Concurrent enables snapshot-isolated concurrent reads on the reopened
+	// handle, exactly as Options.Concurrent does on a built one. It applies
+	// to the updatable kinds: a dynamic container (always replayed onto a
+	// writable in-memory device) and an append container opened writable
+	// with WAL — where acknowledgement additionally group-commits across
+	// concurrent writers under SyncEveryOp. A read-only append, static or
+	// sharded reopen serves queries straight from the file and has no
+	// writers to isolate; Concurrent is rejected there.
+	Concurrent bool
 	// readerAt, when non-nil, overrides each device's pread source — the
 	// instrumentation hook the read-count differential tests use.
 	readerAt func(f *os.File) io.ReaderAt
@@ -93,24 +106,27 @@ type Opened struct {
 	f      *os.File
 	disks  []*iomodel.FileDisk
 	dur    *durable
-	closed bool
+	lock   *fileLock
+	closed atomic.Bool
 }
 
 // Close releases the index. For a handle opened writable (OpenOptions.WAL)
 // it first checkpoints outstanding operations and closes the log, so a
 // cleanly closed index is carried entirely by its base container. Close is
-// idempotent: the first call does the work and surfaces any error
-// (checkpoint, log flush, munmap, file close); later calls are no-ops
-// returning nil.
+// idempotent and safe to race with in-flight operations: exactly one call
+// does the work and surfaces any error (checkpoint, log flush, munmap, file
+// close); it serializes behind whatever operation holds the durable lock,
+// later calls are no-ops returning nil, and operations arriving after it
+// fail with ErrClosed.
 func (o *Opened) Close() error {
-	if o.closed {
+	if !o.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	o.closed = true
 	var first error
 	if o.dur != nil {
+		// o.dur stays set: Sync/Checkpoint racing with Close read it and get
+		// ErrClosed from the durable layer rather than chasing a nil.
 		first = o.dur.close()
-		o.dur = nil
 	}
 	for _, d := range o.disks {
 		if err := d.Close(); err != nil && first == nil {
@@ -123,6 +139,11 @@ func (o *Opened) Close() error {
 			first = err
 		}
 		o.f = nil
+	}
+	if o.lock != nil {
+		if err := o.lock.release(); err != nil && first == nil {
+			first = err
+		}
 	}
 	return first
 }
@@ -189,10 +210,13 @@ func writeContainer(path string, kind uint64, emit func(*container.Writer) error
 
 // writeContainerFS is writeContainer over an abstract filesystem (the
 // crash-injection harness substitutes a journaling one). The temp file is
-// path+".tmp" — concurrent writers of the same path are not supported — and
-// after the rename the parent directory is synced: without that, a crash
-// shortly after a "successful" write can roll the file back to its previous
-// contents, or to nothing at all if it was being created.
+// path+".tmp", so writers of one path must not overlap: WriteFile callers
+// own their paths, and writable handles exclude each other through the
+// advisory lock OpenFile takes (ErrLocked) and serialize their own
+// checkpoints through the durable lock. After the rename the parent
+// directory is synced: without that, a crash shortly after a "successful"
+// write can roll the file back to its previous contents, or to nothing at
+// all if it was being created.
 func writeContainerFS(fsys wal.FS, path string, kind uint64, emit func(*container.Writer) error) error {
 	name := path + ".tmp"
 	tmp, err := fsys.Create(name)
@@ -317,6 +341,15 @@ func rawDisk(dev iomodel.Device) (*iomodel.Disk, error) {
 	}
 	return nil, fmt.Errorf("secidx: cannot serialise device of type %T", dev)
 }
+
+// lockSuffix names the advisory lock companion of a writable container:
+// <path>.lock next to <path> and <path>.wal.
+const lockSuffix = ".lock"
+
+// ErrLocked reports that a writable open (OpenOptions.WAL) found the
+// container's advisory lock held by another live handle — in this process
+// or any other. Detect it with errors.Is.
+var ErrLocked = errors.New("secidx: container is locked by another writable handle")
 
 // errReopened rejects re-serialising an index that is itself file-backed:
 // its in-memory mirror holds only the blocks queries have touched, not the
@@ -540,16 +573,45 @@ func openFile(f *os.File, oo OpenOptions) (*Opened, error) {
 		if oo.WAL != nil {
 			return nil, fmt.Errorf("secidx: durability (OpenOptions.WAL) applies to append and dynamic containers only; static containers have no update operations to log")
 		}
+		if oo.Concurrent {
+			return nil, fmt.Errorf("secidx: OpenOptions.Concurrent applies to updatable handles (dynamic, or append with OpenOptions.WAL); this container has no writers to isolate")
+		}
+	case container.KindAppend:
+		if oo.Concurrent && oo.WAL == nil {
+			return nil, fmt.Errorf("secidx: OpenOptions.Concurrent on an append container requires OpenOptions.WAL; a read-only reopen has no writers to isolate")
+		}
 	}
 	switch cf.Kind {
 	case container.KindStatic:
 		return openStatic(f, cf, man, oo)
 	case container.KindSharded:
 		return openSharded(f, cf, man, oo)
-	case container.KindAppend:
-		return openAppend(f, cf, man, oo)
-	case container.KindDynamic:
-		return openDynamic(f, cf, man, oo)
+	case container.KindAppend, container.KindDynamic:
+		// A writable open takes the advisory handle lock first: two live
+		// writers on one container would race the checkpoint rename and the
+		// log, so the second open fails with ErrLocked instead.
+		var lk *fileLock
+		if oo.WAL != nil {
+			var lerr error
+			if lk, lerr = acquireLock(f.Name() + lockSuffix); lerr != nil {
+				return nil, lerr
+			}
+		}
+		var o *Opened
+		var err error
+		if cf.Kind == container.KindAppend {
+			o, err = openAppend(f, cf, man, oo)
+		} else {
+			o, err = openDynamic(f, cf, man, oo)
+		}
+		if err != nil {
+			if lk != nil {
+				lk.release()
+			}
+			return nil, err
+		}
+		o.lock = lk
+		return o, nil
 	}
 	return nil, corruptf("unknown container kind %d", cf.Kind)
 }
@@ -839,7 +901,7 @@ func openAppendDurable(f *os.File, cf *container.File, man manifest, oo OpenOpti
 		return nil, err
 	}
 	ix := &AppendIndex{ax: ax, disk: d, fd: fwrap, opts: man.opts}
-	du, err := openDurable(oo.WAL, f.Name(), container.KindAppend, appliedSeq,
+	du, err := openDurable(oo.WAL, f.Name(), container.KindAppend, appliedSeq, oo.Concurrent,
 		func(op walOp) error {
 			if op.op != opAppend {
 				return fmt.Errorf("operation %d invalid for an append index", op.op)
@@ -852,6 +914,14 @@ func openAppendDurable(f *os.File, cf *container.File, man manifest, oo OpenOpti
 		return nil, err
 	}
 	ix.dur = du
+	if oo.Concurrent {
+		// The first epoch reflects the recovered state: every checkpointed
+		// and replayed operation, versioned at the log's watermark.
+		ix.epochs = &epochState{}
+		if err := ix.publishEpoch(du.lastSeq()); err != nil {
+			return nil, err
+		}
+	}
 	return &Opened{Append: ix, f: f, dur: du}, nil
 }
 
@@ -888,6 +958,15 @@ func openDynamic(f *os.File, cf *container.File, man manifest, oo OpenOptions) (
 	}
 	ix := &DynamicIndex{dx: dx, disk: d, fd: fwrap, opts: opts}
 	if oo.WAL == nil {
+		if oo.Concurrent {
+			// The replayed index lives on a writable in-memory device, so a
+			// log-less reopen supports concurrent mode exactly like
+			// BuildDynamic: versions count applied operations from zero.
+			ix.epochs = &epochState{}
+			if err := ix.publishEpoch(0); err != nil {
+				return nil, err
+			}
+		}
 		return &Opened{Dynamic: ix, f: f}, nil
 	}
 	// The dynamic index replays onto a writable device even for read-only
@@ -897,7 +976,7 @@ func openDynamic(f *os.File, cf *container.File, man manifest, oo OpenOptions) (
 	if err != nil {
 		return nil, err
 	}
-	du, err := openDurable(oo.WAL, f.Name(), container.KindDynamic, appliedSeq,
+	du, err := openDurable(oo.WAL, f.Name(), container.KindDynamic, appliedSeq, oo.Concurrent,
 		func(op walOp) error {
 			var aerr error
 			switch op.op {
@@ -917,5 +996,11 @@ func openDynamic(f *os.File, cf *container.File, man manifest, oo OpenOptions) (
 		return nil, err
 	}
 	ix.dur = du
+	if oo.Concurrent {
+		ix.epochs = &epochState{}
+		if err := ix.publishEpoch(du.lastSeq()); err != nil {
+			return nil, err
+		}
+	}
 	return &Opened{Dynamic: ix, f: f, dur: du}, nil
 }
