@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/bitio"
 	"repro/internal/cbitmap"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/gamma"
 	"repro/internal/index"
 	"repro/internal/iomodel"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -551,5 +553,50 @@ func BenchmarkBitmapDecode(b *testing.B) {
 		if _, err := cbitmap.Decode(r, bm.Card(), bm.Universe()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeSim is the served-throughput benchmark: the serving layer's
+// discrete-event simulator replays a deterministic open-loop arrival stream
+// through admission control, micro-batching and the shared-scan planner.
+// The reported metrics are virtual-clock and therefore deterministic:
+// served/s and p99 from the simulated timeline, blockIO/batch from the I/O
+// model. Wall ns/op measures the simulator+engine itself.
+func BenchmarkServeSim(b *testing.B) {
+	n := 1 << 15
+	rng := rand.New(rand.NewSource(29))
+	col := make([]uint32, n)
+	for i := range col {
+		col[i] = uint32(rng.Intn(512))
+	}
+	ix, err := BuildSharded(col, 512, ShardOptions{Shards: 4, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.ArrivalSpec{Sigma: 512, RangeLen: 16, Theta: 1.1}
+	cfg := serve.Config{MaxQueue: 128, MaxBatch: 16, Workers: 2, AllowPartial: true}
+	for _, bc := range []struct {
+		name string
+		arr  []workload.Arrival
+	}{
+		{"poisson-1x", workload.PoissonArrivals(2000, 20000, spec, 33)},
+		{"poisson-4x", workload.PoissonArrivals(2000, 80000, spec, 33)},
+		{"mmpp-burst", workload.MMPPArrivals(2000, 30000, 240000, 20*time.Millisecond, spec, 33)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var last serve.SimResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last = serve.Simulate(serve.ShardBackend{Ix: ix.sx}, nil, bc.arr, serve.SimConfig{Config: cfg})
+			}
+			st := last.Stats
+			b.ReportMetric(float64(st.Completed)/last.Makespan.Seconds(), "served/s")
+			b.ReportMetric(100*float64(st.Shed)/float64(len(bc.arr)), "shed-pct")
+			if st.Batches > 0 {
+				b.ReportMetric(float64(st.Reads)/float64(st.Batches), "blockIO/batch")
+				b.ReportMetric(float64(st.Admitted)/float64(st.Batches), "batch-size")
+			}
+			b.ReportMetric(float64(st.LatencyP99.Microseconds()), "p99-us")
+		})
 	}
 }

@@ -45,10 +45,30 @@ func main() {
 		rangeLen = flag.Int("range", 16, "query range length ℓ")
 		block    = flag.Int("block", 8192, "block size B in bits")
 		eps      = flag.Float64("eps", 0.0625, "false-positive rate for -index approx")
+
+		loadgen  = flag.Bool("loadgen", false, "run the serving-layer load generator instead of the query benchmark")
+		shards   = flag.Int("shards", 4, "loadgen: shard count")
+		requests = flag.Int("requests", 5000, "loadgen: arrivals per load level")
+		rate     = flag.Float64("rate", 20000, "loadgen: base offered load (arrivals/s; the sweep runs 0.5x-4x)")
+		arrivals = flag.String("arrivals", "poisson", "loadgen: arrival process: poisson|mmpp")
+		burst    = flag.Float64("burst", 8, "loadgen: mmpp high-phase rate multiplier")
+		faults   = flag.Int("faults", 0, "loadgen: transient faults per 10k blocks (armed mid-run)")
+		workers  = flag.Int("workers", 2, "loadgen: concurrent batch executors")
+		maxQueue = flag.Int("maxqueue", 256, "loadgen: admission queue bound")
+		maxBatch = flag.Int("maxbatch", 32, "loadgen: micro-batch distinct-range bound")
+		budget   = flag.Duration("budget", 0, "loadgen: per-request deadline budget (0 = none)")
 	)
 	flag.Parse()
 
 	col := makeColumn(*dist, *n, *sigma, *theta, *param, *seed)
+	if *loadgen {
+		runLoadgen(col, *rangeLen, *seed, loadgenFlags{
+			shards: *shards, requests: *requests, rate: *rate, arrivals: *arrivals,
+			burst: *burst, faults: *faults, workers: *workers,
+			maxQueue: *maxQueue, maxBatch: *maxBatch, budget: *budget,
+		})
+		return
+	}
 	h0 := entropy.H0String(col.X, col.Sigma)
 	d := iomodel.NewDisk(iomodel.Config{BlockBits: *block})
 

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerConfig configures the per-shard circuit breakers layered over the
+// shard layer's retry/degrade machinery. A breaker exists so a shard that
+// keeps failing after its retry budget stops costing every request that
+// budget: once Threshold consecutive batches report the shard failed, the
+// breaker opens and subsequent batches skip the shard outright
+// (shard.ExecOptions.SkipShards), returning degraded answers immediately.
+// After Cooldown the breaker half-opens: exactly one in-flight batch probes
+// the shard; a healthy probe closes the breaker, a failed probe re-opens it
+// for another Cooldown.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failed batches that opens a
+	// shard's breaker (default 5; breakers only act when the server degrades,
+	// i.e. AllowPartial mode).
+	Threshold int
+	// Cooldown is how long an open breaker rejects before half-opening a
+	// probe (default 100ms).
+	Cooldown time.Duration
+	// Disabled turns the breakers off: every batch queries every shard.
+	Disabled bool
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Breaker states. The transitions (all under the breaker mutex):
+//
+//	closed --Threshold consecutive failures--> open
+//	open   --Cooldown elapsed, one probe----> half-open
+//	half-open --probe succeeded-------------> closed
+//	half-open --probe failed----------------> open (cooldown restarts)
+const (
+	brClosed int8 = iota
+	brOpen
+	brHalfOpen
+)
+
+// breakers is the per-shard circuit-breaker bank. It is clock-parameterised
+// (int64 nanoseconds) so the same state machine runs under the real server's
+// wall clock and the discrete-event simulator's virtual clock, keeping the
+// simulated transitions bit-deterministic.
+type breakers struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	sh  []breakerShard
+
+	opens, probes, closes uint64 // cumulative transition counters
+}
+
+type breakerShard struct {
+	state    int8
+	streak   int   // consecutive failures while closed
+	openedAt int64 // clock nanos of the last open transition
+	probing  bool  // a half-open probe batch is in flight
+}
+
+func newBreakers(shards int, cfg BreakerConfig) *breakers {
+	return &breakers{cfg: cfg.withDefaults(), sh: make([]breakerShard, shards)}
+}
+
+// gate decides, at clock time now, which shards the next batch must skip.
+// Open shards whose cooldown has elapsed (and with no probe already in
+// flight) transition to half-open and are admitted as this batch's probe.
+// gate returns the skip set (nil when nothing is skipped), the probe set
+// (shards whose outcome must be reported even if the batch is cancelled),
+// and whether every shard ended up skipped — in which case the caller must
+// fail the batch immediately rather than hand the shard layer an empty
+// fan-out.
+func (b *breakers) gate(now int64) (skip, probe []bool, allSkipped bool) {
+	if b == nil || b.cfg.Disabled {
+		return nil, nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	skipped := 0
+	for i := range b.sh {
+		s := &b.sh[i]
+		switch s.state {
+		case brOpen:
+			if now-s.openedAt >= int64(b.cfg.Cooldown) && !s.probing {
+				s.state = brHalfOpen
+				s.probing = true
+				b.probes++
+				if probe == nil {
+					probe = make([]bool, len(b.sh))
+				}
+				probe[i] = true
+				continue
+			}
+			if skip == nil {
+				skip = make([]bool, len(b.sh))
+			}
+			skip[i] = true
+			skipped++
+		case brHalfOpen:
+			if !s.probing {
+				// The previous probe was inconclusive (cancelled); probe again.
+				s.probing = true
+				b.probes++
+				if probe == nil {
+					probe = make([]bool, len(b.sh))
+				}
+				probe[i] = true
+				continue
+			}
+			// Another batch is already probing; stay out of the shard's way.
+			if skip == nil {
+				skip = make([]bool, len(b.sh))
+			}
+			skip[i] = true
+			skipped++
+		}
+	}
+	return skip, probe, skipped == len(b.sh)
+}
+
+// observe feeds one batch's outcome back: failed[i] reports whether shard i
+// failed this batch (after its retry budget), for shards the batch actually
+// queried (skip[i] false). A cancelled batch (err is the batch context's
+// cancellation) is inconclusive: it says nothing about shard health, so
+// state is unchanged except that in-flight probes are released to run again.
+func (b *breakers) observe(now int64, skip, probe, failed []bool, err error) {
+	if b == nil || b.cfg.Disabled {
+		return
+	}
+	cancelled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.sh {
+		s := &b.sh[i]
+		if i < len(skip) && skip[i] {
+			continue // not queried: no evidence
+		}
+		probed := i < len(probe) && probe[i]
+		if cancelled {
+			if probed {
+				s.probing = false // release the probe slot; gate will re-probe
+			}
+			continue
+		}
+		if i < len(failed) && failed[i] {
+			switch s.state {
+			case brHalfOpen:
+				s.state = brOpen
+				s.openedAt = now
+				s.probing = false
+				b.opens++
+			case brClosed:
+				s.streak++
+				if s.streak >= b.cfg.Threshold {
+					s.state = brOpen
+					s.openedAt = now
+					s.streak = 0
+					b.opens++
+				}
+			}
+			continue
+		}
+		// Healthy outcome.
+		switch s.state {
+		case brHalfOpen:
+			s.state = brClosed
+			s.streak = 0
+			s.probing = false
+			b.closes++
+		case brClosed:
+			s.streak = 0
+		}
+	}
+}
+
+// snapshot returns the per-shard open/half-open flags and the cumulative
+// transition counters.
+func (b *breakers) snapshot() (open []bool, opens, probes, closes uint64) {
+	if b == nil {
+		return nil, 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	open = make([]bool, len(b.sh))
+	for i := range b.sh {
+		open[i] = b.sh[i].state != brClosed
+	}
+	return open, b.opens, b.probes, b.closes
+}

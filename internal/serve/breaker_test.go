@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// clk is a trivial virtual clock for driving the breaker state machine.
+type clk struct{ now int64 }
+
+func (c *clk) tick(d time.Duration) int64 { c.now += int64(d); return c.now }
+
+var errShardDown = errors.New("shard down")
+
+// TestBreakerLifecycle drives one shard of a two-shard bank through the full
+// closed → open → half-open → closed cycle and checks every transition and
+// counter along the way.
+func TestBreakerLifecycle(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 3, Cooldown: 100 * time.Millisecond}
+	b := newBreakers(2, cfg)
+	c := &clk{}
+
+	failShard1 := []bool{false, true}
+	healthy := []bool{false, false}
+
+	// Closed: nothing skipped, failures below Threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		skip, probe, all := b.gate(c.tick(time.Millisecond))
+		if skip != nil || probe != nil || all {
+			t.Fatalf("closed breaker produced skip=%v probe=%v all=%v", skip, probe, all)
+		}
+		b.observe(c.now, skip, probe, failShard1, nil)
+	}
+	if open, opens, _, _ := b.snapshot(); open[1] || opens != 0 {
+		t.Fatalf("breaker opened after %d failures, threshold %d", 2, cfg.Threshold)
+	}
+
+	// A healthy batch resets the streak; two more failures must not open it.
+	skip, probe, _ := b.gate(c.tick(time.Millisecond))
+	b.observe(c.now, skip, probe, healthy, nil)
+	for i := 0; i < 2; i++ {
+		skip, probe, _ = b.gate(c.tick(time.Millisecond))
+		b.observe(c.now, skip, probe, failShard1, nil)
+	}
+	if open, _, _, _ := b.snapshot(); open[1] {
+		t.Fatal("streak survived a healthy batch")
+	}
+
+	// Third consecutive failure opens it.
+	skip, probe, _ = b.gate(c.tick(time.Millisecond))
+	b.observe(c.now, skip, probe, failShard1, nil)
+	open, opens, _, _ := b.snapshot()
+	if !open[1] || open[0] || opens != 1 {
+		t.Fatalf("after threshold failures: open=%v opens=%d, want shard 1 open once", open, opens)
+	}
+
+	// Within the cooldown the shard is skipped, and observing the skipped
+	// batch (which carries a stale failure flag) must not double-count.
+	skip, probe, all := b.gate(c.tick(time.Millisecond))
+	if skip == nil || !skip[1] || skip[0] || probe != nil || all {
+		t.Fatalf("open breaker in cooldown: skip=%v probe=%v all=%v", skip, probe, all)
+	}
+	b.observe(c.now, skip, probe, failShard1, nil)
+
+	// After the cooldown the next gate admits exactly one probe; a second
+	// concurrent gate must stay out of the shard's way.
+	skip, probe, _ = b.gate(c.tick(cfg.Cooldown))
+	if skip != nil || probe == nil || !probe[1] {
+		t.Fatalf("post-cooldown gate: skip=%v probe=%v, want a probe on shard 1", skip, probe)
+	}
+	skip2, probe2, _ := b.gate(c.now)
+	if skip2 == nil || !skip2[1] || probe2 != nil {
+		t.Fatalf("second gate during probe: skip=%v probe=%v, want skip shard 1", skip2, probe2)
+	}
+	b.observe(c.now, skip2, probe2, healthy, nil)
+
+	// Failed probe re-opens (and restarts the cooldown).
+	b.observe(c.tick(time.Millisecond), skip, probe, failShard1, nil)
+	if open, opens, _, _ := b.snapshot(); !open[1] || opens != 2 {
+		t.Fatalf("failed probe: open=%v opens=%d, want re-open", open, opens)
+	}
+	if skip, _, _ := b.gate(c.tick(cfg.Cooldown / 2)); skip == nil || !skip[1] {
+		t.Fatal("cooldown did not restart after a failed probe")
+	}
+
+	// Successful probe closes.
+	skip, probe, _ = b.gate(c.tick(cfg.Cooldown))
+	if probe == nil || !probe[1] {
+		t.Fatalf("expected a probe after the second cooldown, got skip=%v probe=%v", skip, probe)
+	}
+	b.observe(c.tick(time.Millisecond), skip, probe, healthy, nil)
+	open, opens, probes, closes := b.snapshot()
+	if open[1] || closes != 1 {
+		t.Fatalf("successful probe: open=%v closes=%d, want closed once", open, closes)
+	}
+	if opens != 2 || probes != 2 {
+		t.Fatalf("counters opens=%d probes=%d, want 2 and 2", opens, probes)
+	}
+}
+
+// TestBreakerCancelledBatchIsInconclusive: a batch cancelled by its context
+// says nothing about shard health — no streak advance, no open, and an
+// in-flight probe is released so the next gate probes again.
+func TestBreakerCancelledBatchIsInconclusive(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 1, Cooldown: 10 * time.Millisecond}
+	b := newBreakers(1, cfg)
+	c := &clk{}
+
+	// Cancelled failures never open.
+	for i := 0; i < 5; i++ {
+		skip, probe, _ := b.gate(c.tick(time.Millisecond))
+		b.observe(c.now, skip, probe, []bool{true}, context.DeadlineExceeded)
+	}
+	if open, _, _, _ := b.snapshot(); open[0] {
+		t.Fatal("cancelled batches opened the breaker")
+	}
+
+	// Open it, then cancel the probe: the probe slot must be released and
+	// the following gate must probe again rather than deadlock skipped.
+	skip, probe, _ := b.gate(c.tick(time.Millisecond))
+	b.observe(c.now, skip, probe, []bool{true}, nil)
+	skip, probe, _ = b.gate(c.tick(cfg.Cooldown))
+	if probe == nil || !probe[0] {
+		t.Fatalf("want probe after cooldown, got skip=%v probe=%v", skip, probe)
+	}
+	b.observe(c.tick(time.Millisecond), skip, probe, []bool{true}, context.Canceled)
+	skip, probe, all := b.gate(c.tick(time.Millisecond))
+	if probe == nil || !probe[0] || all {
+		t.Fatalf("after cancelled probe: skip=%v probe=%v all=%v, want re-probe", skip, probe, all)
+	}
+	b.observe(c.now, skip, probe, []bool{false}, nil)
+	if open, _, _, _ := b.snapshot(); open[0] {
+		t.Fatal("healthy re-probe did not close the breaker")
+	}
+}
+
+// TestBreakerAllOpen: with every shard open and in cooldown, gate reports
+// allSkipped so the server can fail fast instead of handing the shard layer
+// an empty fan-out.
+func TestBreakerAllOpen(t *testing.T) {
+	b := newBreakers(3, BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	c := &clk{}
+	skip, probe, _ := b.gate(c.tick(time.Millisecond))
+	b.observe(c.now, skip, probe, []bool{true, true, true}, errShardDown)
+	_, _, all := b.gate(c.tick(time.Millisecond))
+	if !all {
+		t.Fatal("three open breakers did not report allSkipped")
+	}
+	// Disabled bank never gates.
+	d := newBreakers(3, BreakerConfig{Disabled: true})
+	d.observe(1, nil, nil, []bool{true, true, true}, errShardDown)
+	if skip, probe, all := d.gate(2); skip != nil || probe != nil || all {
+		t.Fatal("disabled breakers still gate")
+	}
+}

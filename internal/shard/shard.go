@@ -67,15 +67,26 @@ type RetryPolicy struct {
 	// device faults (iomodel.ErrTransientRead) are retried; permanent
 	// faults, corruption and cancellation fail immediately.
 	MaxAttempts int
-	// Backoff is the sleep before the first retry; attempt k waits
-	// Backoff·2^(k-1), capped at MaxBackoff when MaxBackoff > 0. The waits
+	// Backoff is the base sleep before the first retry; attempt k starts
+	// from Backoff·2^(k-1), capped at MaxBackoff when MaxBackoff > 0, and is
+	// then jittered to a deterministic point in [base/2, base): the jitter
+	// fraction is a pure splitmix64 function of (JitterSeed, token, attempt),
+	// where the token is the shard index, so concurrent per-shard retries of
+	// one query decorrelate instead of convoying onto the device in lockstep,
+	// while a fixed seed keeps every schedule bit-reproducible. The waits
 	// honour context cancellation.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic backoff jitter. Any value (including
+	// zero) yields a valid, reproducible schedule.
+	JitterSeed int64
 }
 
-// delay returns the backoff before re-issuing after `attempt` failures.
-func (p RetryPolicy) delay(attempt int) time.Duration {
+// Delay returns the jittered backoff before re-issuing after `attempt`
+// failures of the operation identified by token (the shard index in the
+// fan-out layers; 0 for an unsharded device). The schedule is a pure
+// function of (policy, token, attempt) — see RetryPolicy.Backoff.
+func (p RetryPolicy) Delay(attempt int, token uint64) time.Duration {
 	d := p.Backoff
 	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
 		d *= 2
@@ -83,7 +94,28 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	if p.MaxBackoff > 0 && d > p.MaxBackoff {
 		d = p.MaxBackoff
 	}
-	return d
+	if d <= 0 {
+		return 0
+	}
+	// Jitter into [d/2, d): keep half the exponential spacing as a floor so
+	// attempts still back off, and spread the rest uniformly by the seeded
+	// draw. 1<<16 buckets keep the draw exact for any Duration magnitude.
+	h := mix64(uint64(p.JitterSeed) ^ mix64(token^saltJitter) ^ mix64(uint64(attempt)))
+	frac := h % (1 << 16)
+	return d/2 + time.Duration(uint64(d/2)*frac>>16)
+}
+
+// saltJitter decorrelates the jitter draw from every other seeded draw in
+// the repository (the fault schedule's salts live in iomodel).
+const saltJitter uint64 = 0x6a69747472657472 // "jittretr"
+
+// mix64 is the splitmix64 finalizer, the same deterministic mixer the fault
+// schedule uses for per-block draws.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // ExecOptions configures one fault-tolerant query execution.
@@ -96,7 +128,44 @@ type ExecOptions struct {
 	// Cancellation is never degraded — a done context fails the query even
 	// in partial mode.
 	AllowPartial bool
+	// SkipShards, when non-nil, marks shards the caller already knows to be
+	// unhealthy — the serving layer's circuit-breaker hook. A marked shard is
+	// not queried at all: it spends no retry budget, touches no device, and
+	// reports a ShardError wrapping ErrShardSkipped after zero attempts.
+	// Requires AllowPartial when any shard is marked (with no degraded path a
+	// skip would doom the whole query), and at least one shard must remain
+	// unmarked.
+	SkipShards []bool
 }
+
+// skip reports whether shard i is marked to be skipped.
+func (eo ExecOptions) skip(i int) bool {
+	return i < len(eo.SkipShards) && eo.SkipShards[i]
+}
+
+// validateSkips rejects skip sets that leave nothing to answer with.
+func (eo ExecOptions) validateSkips(shards int) error {
+	marked := 0
+	for i := 0; i < shards; i++ {
+		if eo.skip(i) {
+			marked++
+		}
+	}
+	if marked == 0 {
+		return nil
+	}
+	if !eo.AllowPartial {
+		return fmt.Errorf("shard: SkipShards requires AllowPartial")
+	}
+	if marked == shards {
+		return fmt.Errorf("shard: every shard skipped: %w", ErrShardSkipped)
+	}
+	return nil
+}
+
+// ErrShardSkipped is the error a circuit-broken (ExecOptions.SkipShards)
+// shard reports in the degraded-answer report: the shard was never queried.
+var ErrShardSkipped = errors.New("shard: skipped by caller (circuit breaker open)")
 
 // ShardError reports one shard's failure inside a degraded (AllowPartial)
 // answer: the failing shard, the global row range whose answer bits are
@@ -298,12 +367,13 @@ func (sx *Index) ResetDeviceStats() {
 }
 
 // retryTransient runs op with the policy's bounded retries: only transient
-// device faults re-issue, with an exponential, cancellation-aware backoff
-// between attempts. Every attempt's stats accumulate into stats (so failed
-// attempts' charged I/O stays visible), and each re-issued attempt counts
-// once in stats.RetriedReads. It returns the attempt count and the final
-// error.
-func retryTransient(ctx context.Context, pol RetryPolicy, stats *index.QueryStats, op func() (index.QueryStats, error)) (int, error) {
+// device faults re-issue, with an exponential, jittered, cancellation-aware
+// backoff between attempts (token identifies the operation — the shard
+// index — for the deterministic jitter draw). Every attempt's stats
+// accumulate into stats (so failed attempts' charged I/O stays visible),
+// and each re-issued attempt counts once in stats.RetriedReads. It returns
+// the attempt count and the final error.
+func retryTransient(ctx context.Context, pol RetryPolicy, token uint64, stats *index.QueryStats, op func() (index.QueryStats, error)) (int, error) {
 	max := pol.MaxAttempts
 	if max < 1 {
 		max = 1
@@ -314,7 +384,7 @@ func retryTransient(ctx context.Context, pol RetryPolicy, stats *index.QueryStat
 		if err == nil || attempt >= max || !errors.Is(err, iomodel.ErrTransientRead) {
 			return attempt, err
 		}
-		if d := pol.delay(attempt); d > 0 {
+		if d := pol.Delay(attempt, token); d > 0 {
 			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
@@ -384,12 +454,45 @@ func (sx *Index) QueryExec(ctx context.Context, r index.Range, eo ExecOptions) (
 	if err := r.Valid(sx.sigma); err != nil {
 		return nil, stats, nil, err
 	}
+	if err := eo.validateSkips(len(sx.shards)); err != nil {
+		return nil, stats, nil, err
+	}
+	if len(sx.shards) == 1 {
+		// Single shard: the worker fan-out and per-shard bookkeeping buy no
+		// parallelism, so run the retry loop inline on the caller's
+		// goroutine. validateSkips already rejected skipping the only shard,
+		// and the shard's local answer is the global one (row offset 0).
+		if err := ctx.Err(); err != nil {
+			return nil, stats, nil, err
+		}
+		var bm *cbitmap.Bitmap
+		attempts, err := retryTransient(ctx, eo.Retry, 0, &stats, func() (index.QueryStats, error) {
+			b, st, qerr := sx.shards[0].ax.QueryContext(ctx, r)
+			if qerr == nil {
+				bm = b
+			}
+			return st, qerr
+		})
+		if err != nil {
+			if !eo.AllowPartial || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, stats, nil, err
+			}
+			return nil, stats, nil, fmt.Errorf("shard: every shard failed: %w", ShardError{
+				Shard: 0, RowStart: sx.shards[0].start, RowEnd: sx.shards[0].end,
+				Attempts: attempts, Err: err,
+			})
+		}
+		return bm, stats, nil, nil
+	}
 	parts := make([]cbitmap.Shifted, len(sx.shards))
 	sts := make([]index.QueryStats, len(sx.shards))
 	attempts := make([]int, len(sx.shards))
 	errs := make([]error, len(sx.shards))
 	sx.runTasks(ctx, len(sx.shards), !eo.AllowPartial, func(i int) error {
-		a, err := retryTransient(ctx, eo.Retry, &sts[i], func() (index.QueryStats, error) {
+		if eo.skip(i) {
+			return ErrShardSkipped
+		}
+		a, err := retryTransient(ctx, eo.Retry, uint64(i), &sts[i], func() (index.QueryStats, error) {
 			bm, st, err := sx.shards[i].ax.QueryContext(ctx, r)
 			if err != nil {
 				return st, err
@@ -406,11 +509,6 @@ func (sx *Index) QueryExec(ctx context.Context, r index.Range, eo ExecOptions) (
 	report, err := sx.collectReport(errs, attempts, eo)
 	if err != nil {
 		return nil, stats, nil, err
-	}
-	if len(sx.shards) == 1 && report == nil {
-		// One shard covers every row, so its local answer is already the
-		// global one (row offset 0) — no merge.
-		return parts[0].Bm, stats, nil, nil
 	}
 	healthy := parts[:0:0]
 	for _, p := range parts {
@@ -464,6 +562,9 @@ func (sx *Index) QueryBatchContext(ctx context.Context, rs []index.Range) ([]*cb
 // rows.
 func (sx *Index) QueryBatchExec(ctx context.Context, rs []index.Range, eo ExecOptions) ([]*cbitmap.Bitmap, index.QueryStats, []ShardError, error) {
 	var stats index.QueryStats
+	if err := eo.validateSkips(len(sx.shards)); err != nil {
+		return nil, stats, nil, err
+	}
 	uniq := make(map[index.Range]int, len(rs))
 	var order []index.Range
 	for _, r := range rs {
@@ -498,7 +599,10 @@ func (sx *Index) QueryBatchExec(ctx context.Context, rs []index.Range, eo ExecOp
 	attempts := make([]int, len(sx.shards))
 	errs := make([]error, len(sx.shards))
 	sx.runTasks(ctx, len(sx.shards), !eo.AllowPartial, func(i int) error {
-		a, err := retryTransient(ctx, eo.Retry, &shardStats[i], func() (index.QueryStats, error) {
+		if eo.skip(i) {
+			return ErrShardSkipped
+		}
+		a, err := retryTransient(ctx, eo.Retry, uint64(i), &shardStats[i], func() (index.QueryStats, error) {
 			bms, st, err := shardBatchQuery(ctx, sx.shards[i], order)
 			if err != nil {
 				return st, err

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival is one event of an open-loop arrival process: at time At (relative
+// to the start of the run) a client issues the range query [Lo,Hi]. Open
+// loop means the process never waits for the system under test — the next
+// arrival comes when the process says it does, whether or not earlier
+// queries have been answered. That is the property that makes overload
+// dangerous: a slow server does not slow the offered load down, so without
+// admission control the queue grows without bound.
+type Arrival struct {
+	At     time.Duration
+	Lo, Hi uint32
+}
+
+// ArrivalSpec configures the query-shape half of an arrival process: range
+// lengths and the distribution of range positions over the alphabet.
+type ArrivalSpec struct {
+	Sigma int
+	// RangeLen is the query range length ℓ (clamped to [1, Sigma]).
+	RangeLen int
+	// Theta is the zipf exponent of the range-position distribution: range
+	// starts are drawn zipf(theta)-skewed over the possible positions, so
+	// theta > 0 concentrates queries on hot ranges — the overlap-heavy
+	// regime the shared-scan batch planner exploits. Theta = 0 is uniform.
+	Theta float64
+}
+
+// rangeDrawer returns a deterministic draw function for the spec: each call
+// yields one [lo,hi] range. Hot positions are scattered over the alphabet by
+// a seeded permutation (as in Zipf) so skew is not correlated with alphabet
+// order.
+func (s ArrivalSpec) rangeDrawer(rng *rand.Rand) func() (uint32, uint32) {
+	length := s.RangeLen
+	if length < 1 {
+		length = 1
+	}
+	if length > s.Sigma {
+		length = s.Sigma
+	}
+	positions := s.Sigma - length + 1
+	if s.Theta <= 0 {
+		return func() (uint32, uint32) {
+			lo := uint32(rng.Intn(positions))
+			return lo, lo + uint32(length) - 1
+		}
+	}
+	cdf := make([]float64, positions)
+	var sum float64
+	for r := 0; r < positions; r++ {
+		sum += 1 / math.Pow(float64(r+1), s.Theta)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	perm := rng.Perm(positions)
+	return func() (uint32, uint32) {
+		u := rng.Float64()
+		// Binary search the CDF (sort.SearchFloat64s without the import).
+		lo, hi := 0, len(cdf)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= positions {
+			lo = positions - 1
+		}
+		start := uint32(perm[lo])
+		return start, start + uint32(length) - 1
+	}
+}
+
+// PoissonArrivals generates n arrivals of a homogeneous Poisson process with
+// the given mean rate (arrivals per second): inter-arrival gaps are i.i.d.
+// exponential with mean 1/rate — the memoryless open-loop model of many
+// independent users. Deterministic given the seed.
+func PoissonArrivals(n int, rate float64, spec ArrivalSpec, seed int64) []Arrival {
+	if rate <= 0 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := spec.rangeDrawer(rng)
+	out := make([]Arrival, n)
+	var now float64 // seconds
+	for i := range out {
+		now += rng.ExpFloat64() / rate
+		lo, hi := draw()
+		out[i] = Arrival{At: time.Duration(now * float64(time.Second)), Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// MMPPArrivals generates n arrivals of a two-state Markov-modulated Poisson
+// process — the standard bursty-traffic model: the process alternates
+// between a low-rate and a high-rate phase, with exponentially distributed
+// phase sojourns of the given means, and within each phase arrivals are
+// Poisson at that phase's rate. Bursts at highRate arriving into a system
+// provisioned for the mean rate are exactly the overload transient the
+// admission controller must shed through. Deterministic given the seed.
+func MMPPArrivals(n int, lowRate, highRate float64, meanSojourn time.Duration, spec ArrivalSpec, seed int64) []Arrival {
+	if n <= 0 || lowRate <= 0 || highRate <= 0 || meanSojourn <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := spec.rangeDrawer(rng)
+	out := make([]Arrival, 0, n)
+	var now float64 // seconds
+	sojourn := meanSojourn.Seconds()
+	high := false
+	phaseEnd := rng.ExpFloat64() * sojourn
+	for len(out) < n {
+		rate := lowRate
+		if high {
+			rate = highRate
+		}
+		gap := rng.ExpFloat64() / rate
+		if now+gap >= phaseEnd {
+			// Phase flips before the next arrival: restart the memoryless
+			// draw from the phase boundary at the new rate.
+			now = phaseEnd
+			high = !high
+			phaseEnd = now + rng.ExpFloat64()*sojourn
+			continue
+		}
+		now += gap
+		lo, hi := draw()
+		out = append(out, Arrival{At: time.Duration(now * float64(time.Second)), Lo: lo, Hi: hi})
+	}
+	return out
+}

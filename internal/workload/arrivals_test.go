@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPoissonArrivalsDeterministicAndRate(t *testing.T) {
+	spec := ArrivalSpec{Sigma: 256, RangeLen: 16, Theta: 1.0}
+	a := PoissonArrivals(20000, 1000, spec, 7)
+	b := PoissonArrivals(20000, 1000, spec, 7)
+	if len(a) != 20000 {
+		t.Fatalf("got %d arrivals", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if PoissonArrivals(20000, 1000, spec, 8)[100] == a[100] {
+		t.Fatal("different seeds produced the same arrival stream")
+	}
+	// Timestamps strictly ordered, ranges valid, empirical rate within 5%.
+	last := time.Duration(-1)
+	for i, ar := range a {
+		if ar.At <= last {
+			t.Fatalf("arrival %d at %v not after %v", i, ar.At, last)
+		}
+		last = ar.At
+		if ar.Lo > ar.Hi || int(ar.Hi) >= spec.Sigma {
+			t.Fatalf("arrival %d has bad range [%d,%d]", i, ar.Lo, ar.Hi)
+		}
+		if int(ar.Hi-ar.Lo)+1 != spec.RangeLen {
+			t.Fatalf("arrival %d has range length %d, want %d", i, ar.Hi-ar.Lo+1, spec.RangeLen)
+		}
+	}
+	rate := float64(len(a)) / a[len(a)-1].At.Seconds()
+	if rate < 950 || rate > 1050 {
+		t.Fatalf("empirical rate %.1f/s, want ~1000/s", rate)
+	}
+}
+
+func TestPoissonArrivalsZipfSkew(t *testing.T) {
+	// With strong skew a handful of hot range positions should dominate —
+	// that is what feeds the batcher's overlap trigger.
+	a := PoissonArrivals(10000, 100, ArrivalSpec{Sigma: 1024, RangeLen: 8, Theta: 1.2}, 3)
+	counts := map[uint32]int{}
+	for _, ar := range a {
+		counts[ar.Lo]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(a)/20 {
+		t.Fatalf("hottest range position has %d of %d arrivals; zipf skew looks broken", max, len(a))
+	}
+	// Uniform (theta 0) must not concentrate like that.
+	u := PoissonArrivals(10000, 100, ArrivalSpec{Sigma: 1024, RangeLen: 8}, 3)
+	ucounts := map[uint32]int{}
+	umax := 0
+	for _, ar := range u {
+		if ucounts[ar.Lo]++; ucounts[ar.Lo] > umax {
+			umax = ucounts[ar.Lo]
+		}
+	}
+	if umax >= len(u)/20 {
+		t.Fatalf("uniform draw concentrated %d of %d arrivals on one position", umax, len(u))
+	}
+}
+
+func TestMMPPArrivalsBursty(t *testing.T) {
+	spec := ArrivalSpec{Sigma: 256, RangeLen: 4}
+	a := MMPPArrivals(30000, 200, 5000, 100*time.Millisecond, spec, 11)
+	b := MMPPArrivals(30000, 200, 5000, 100*time.Millisecond, spec, 11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical seeds", i)
+		}
+	}
+	last := time.Duration(-1)
+	for i, ar := range a {
+		if ar.At <= last {
+			t.Fatalf("arrival %d at %v not after %v", i, ar.At, last)
+		}
+		last = ar.At
+	}
+	// Burstiness: the per-10ms-window arrival counts must be overdispersed
+	// versus Poisson — the windowed index of dispersion (var/mean) of an
+	// MMPP with a 25x rate ratio is far above 1.
+	window := 10 * time.Millisecond
+	buckets := make(map[int64]int)
+	for _, ar := range a {
+		buckets[int64(ar.At/window)]++
+	}
+	total := int64(a[len(a)-1].At/window) + 1
+	var mean, m2 float64
+	for w := int64(0); w < total; w++ {
+		mean += float64(buckets[w])
+	}
+	mean /= float64(total)
+	for w := int64(0); w < total; w++ {
+		d := float64(buckets[w]) - mean
+		m2 += d * d
+	}
+	dispersion := m2 / float64(total) / mean
+	if dispersion < 3 {
+		t.Fatalf("index of dispersion %.2f, want >> 1 (bursty)", dispersion)
+	}
+}

@@ -8,14 +8,14 @@
 # on a >20% regression in any benchmark present in both files.
 #
 # Usage: scripts/bench.sh [tag] [count]
-#   tag    suffix for the output file (default: 5, matching this PR's number)
+#   tag    suffix for the output file (default: 6, matching this PR's number)
 #   count  benchmark repetitions (default: 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-5}"
+TAG="${1:-6}"
 COUNT="${2:-3}"
-PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode|BenchmarkShardedQuery|BenchmarkShardedQueryBatch|BenchmarkIndexQuery|BenchmarkAppendDirect|BenchmarkAppendBuffered|BenchmarkRebuild|BenchmarkBuildOptimal|BenchmarkDynamicChange'
+PATTERN='BenchmarkGammaDecode|BenchmarkBitioReadUnary|BenchmarkBitmapUnion|BenchmarkBitmapIntersect|BenchmarkContains|BenchmarkBitmapDecode|BenchmarkShardedQuery|BenchmarkShardedQueryBatch|BenchmarkIndexQuery|BenchmarkAppendDirect|BenchmarkAppendBuffered|BenchmarkRebuild|BenchmarkBuildOptimal|BenchmarkDynamicChange|BenchmarkServeSim'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -291,17 +291,11 @@ func (ix *Index) QueryExec(ctx context.Context, lo, hi uint32, opts QueryOptions
 	}
 }
 
-// retryDelay returns the backoff before re-issuing after `attempt` failures,
-// matching the sharded retry layer's schedule.
+// retryDelay returns the jittered backoff before re-issuing after `attempt`
+// failures, matching the sharded retry layer's deterministic seeded schedule
+// (an unsharded index is token 0).
 func retryDelay(p RetryPolicy, attempt int) time.Duration {
-	d := p.Backoff
-	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
-		d *= 2
-	}
-	if p.MaxBackoff > 0 && d > p.MaxBackoff {
-		d = p.MaxBackoff
-	}
-	return d
+	return p.toInternal().Delay(attempt, 0)
 }
 
 // QueryBatch answers a batch of ranges through the shared-scan batch

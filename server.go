@@ -1,0 +1,280 @@
+package secidx
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/cbitmap"
+	"repro/internal/index"
+	"repro/internal/iomodel"
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+// Errors the serving layer returns. They are comparable with errors.Is.
+var (
+	// ErrOverloaded is the admission controller's shed: the server's intake
+	// queue is at capacity and the request was rejected immediately rather
+	// than queued without bound.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrServerClosed is returned by queries submitted after Close.
+	ErrServerClosed = serve.ErrClosed
+	// ErrNoHealthyShards is returned while every shard's circuit breaker is
+	// open: with no healthy shard left to degrade to, requests fail fast
+	// until a cooldown probe heals one.
+	ErrNoHealthyShards = serve.ErrNoShards
+)
+
+// ServerConfig tunes the serving layer. The zero value is usable: every
+// field defaults sensibly.
+type ServerConfig struct {
+	// MaxQueue bounds admitted-but-not-executing requests; beyond it the
+	// server sheds with ErrOverloaded (default 256).
+	MaxQueue int
+	// MaxBatch flushes the forming micro-batch at this many distinct ranges
+	// (default 32).
+	MaxBatch int
+	// MaxTotal flushes at this many total members — duplicates and overlaps
+	// included — letting overlap-heavy traffic bank extra sharing past
+	// MaxBatch (default 4×MaxBatch).
+	MaxTotal int
+	// MaxWait bounds how long the oldest member waits before the batch
+	// flushes regardless of size (default 500µs).
+	MaxWait time.Duration
+	// FlushSlack flushes the batch as soon as a member's remaining deadline
+	// budget drops this low (default 2×MaxWait).
+	FlushSlack time.Duration
+	// MinBudget rejects requests at admission when their remaining deadline
+	// budget is at or below it (default FlushSlack/2).
+	MinBudget time.Duration
+	// Workers bounds concurrently executing batches (default 2).
+	Workers int
+	// Retry is the per-shard transient-fault retry policy.
+	Retry RetryPolicy
+	// AllowPartial opts into degraded answers when shards fail, and is
+	// required for the circuit breakers to act.
+	AllowPartial bool
+	// BreakerThreshold is the consecutive-failure count that opens a shard's
+	// circuit breaker (default 5); BreakerCooldown is how long an open
+	// breaker rejects before probing (default 100ms). DisableBreakers turns
+	// the bank off.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	DisableBreakers  bool
+}
+
+func (c ServerConfig) toInternal() serve.Config {
+	return serve.Config{
+		MaxQueue:     c.MaxQueue,
+		MaxBatch:     c.MaxBatch,
+		MaxTotal:     c.MaxTotal,
+		MaxWait:      c.MaxWait,
+		FlushSlack:   c.FlushSlack,
+		MinBudget:    c.MinBudget,
+		Workers:      c.Workers,
+		Retry:        c.Retry.toInternal(),
+		AllowPartial: c.AllowPartial,
+		Breaker: serve.BreakerConfig{
+			Threshold: c.BreakerThreshold,
+			Cooldown:  c.BreakerCooldown,
+			Disabled:  c.DisableBreakers,
+		},
+	}
+}
+
+// ServerStats is a point-in-time snapshot of a Server's metrics; all
+// counters are cumulative since the server started.
+type ServerStats struct {
+	Admitted uint64 // requests accepted into the queue
+	Shed     uint64 // requests rejected with ErrOverloaded
+	Expired  uint64 // requests rejected at admission for hopeless deadlines
+
+	Completed uint64 // requests answered (possibly degraded)
+	Degraded  uint64 // answered requests missing ≥1 shard
+	Failed    uint64 // requests that errored after admission
+
+	Batches       uint64 // micro-batches executed
+	FlushSize     uint64 // flushes on the distinct-range trigger
+	FlushOverlap  uint64 // flushes on the total-members (overlap) trigger
+	FlushWait     uint64 // flushes on the oldest-member-age trigger
+	FlushDeadline uint64 // flushes on the deadline-budget trigger
+	FlushClose    uint64 // flushes forced by Close
+
+	QueueDepth int64 // current queued requests
+	QueueMax   int64 // high-water mark of QueueDepth
+
+	Reads        int64 // batch-level charged block reads
+	SharedSaved  int64 // block reads the shared-scan planner avoided
+	FailedReads  int64 // failed device read attempts (incl. recovered)
+	RetriedReads int64 // whole-shard attempts re-issued after transients
+
+	BreakerOpen   []bool // per shard: breaker currently open or half-open
+	BreakerOpens  uint64 // closed/half-open → open transitions
+	BreakerProbes uint64 // half-open probes admitted
+	BreakerCloses uint64 // probes that healed a breaker
+
+	LatencyMean time.Duration // end-to-end latency of completed requests
+	LatencyP50  time.Duration
+	LatencyP99  time.Duration
+	LatencyP999 time.Duration
+	LatencyMax  time.Duration
+}
+
+func fromServeStats(st serve.Stats) ServerStats {
+	return ServerStats{
+		Admitted: st.Admitted, Shed: st.Shed, Expired: st.Expired,
+		Completed: st.Completed, Degraded: st.Degraded, Failed: st.Failed,
+		Batches: st.Batches, FlushSize: st.FlushSize, FlushOverlap: st.FlushOverlap,
+		FlushWait: st.FlushWait, FlushDeadline: st.FlushDeadline, FlushClose: st.FlushClose,
+		QueueDepth: st.QueueDepth, QueueMax: st.QueueMax,
+		Reads: st.Reads, SharedSaved: st.SharedSaved,
+		FailedReads: st.FailedReads, RetriedReads: st.RetriedReads,
+		BreakerOpen: st.BreakerOpen, BreakerOpens: st.BreakerOpens,
+		BreakerProbes: st.BreakerProbes, BreakerCloses: st.BreakerCloses,
+		LatencyMean: st.LatencyMean, LatencyP50: st.LatencyP50,
+		LatencyP99: st.LatencyP99, LatencyP999: st.LatencyP999, LatencyMax: st.LatencyMax,
+	}
+}
+
+// ServedResult is the serving layer's answer to one query: the result plus
+// how it was served — the batch it rode in, what flushed that batch, and how
+// long it queued.
+type ServedResult struct {
+	// Result is the row set (nil when Err is non-nil).
+	Result *Result
+	// Stats is the I/O cost of the whole serving batch (shared across its
+	// members, as in QueryBatch).
+	Stats Stats
+	// Report names shards missing from a degraded answer: faulted shards
+	// and circuit-broken ones.
+	Report []ShardError
+	// BatchSize is the serving batch's member count; Trigger names the
+	// flush trigger that released it (size, overlap, wait, deadline, close).
+	BatchSize int
+	Trigger   string
+	// Wait is time spent queued; Service the batch's execution time.
+	Wait, Service time.Duration
+	// Err is the per-request failure, if any (ErrOverloaded,
+	// ErrServerClosed, ErrNoHealthyShards, a context error, or a device
+	// fault that exhausted retries).
+	Err error
+}
+
+func fromResponse(r serve.Response) *ServedResult {
+	sr := &ServedResult{
+		Stats:     fromQS(r.Stats),
+		Report:    fromShardErrors(r.Report),
+		BatchSize: r.BatchSize,
+		Trigger:   r.Trigger,
+		Wait:      r.Wait,
+		Service:   r.Service,
+		Err:       r.Err,
+	}
+	if r.Err == nil {
+		sr.Result = &Result{bm: r.Bm}
+	}
+	return sr
+}
+
+// Server fronts an index with the overload-safe serving layer: bounded
+// admission (shed, never block), adaptive micro-batching into the
+// shared-scan planner, per-shard circuit breakers, and serving metrics. See
+// ShardedIndex.Serve and Index.Serve.
+type Server struct {
+	s *serve.Server
+}
+
+// Serve starts a server over the sharded index. Close releases it.
+func (ix *ShardedIndex) Serve(cfg ServerConfig) (*Server, error) {
+	s, err := serve.NewServer(serve.ShardBackend{Ix: ix.sx}, cfg.toInternal())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{s: s}, nil
+}
+
+// Serve starts a server over the unsharded index: the same admission
+// control and micro-batching, with the index treated as a single shard
+// (retries apply batch-wide; a circuit breaker can still fail fast while
+// the device is down).
+func (ix *Index) Serve(cfg ServerConfig) (*Server, error) {
+	s, err := serve.NewServer(indexBackend{ix: ix}, cfg.toInternal())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{s: s}, nil
+}
+
+// Query submits one range query and blocks until it is answered, shed, or
+// ctx is done. Admission never blocks: an overloaded server fails fast with
+// ErrOverloaded, and a request whose deadline budget is already hopeless is
+// rejected with context.DeadlineExceeded without queuing.
+func (s *Server) Query(ctx context.Context, lo, hi uint32) (*ServedResult, error) {
+	r := fromResponse(s.s.Submit(ctx, lo, hi))
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return r, nil
+}
+
+// QueryBatch submits every range concurrently — each is one arrival, so the
+// batcher may group them with each other and with unrelated traffic — and
+// waits for all. out[i] answers ranges[i]; per-request failures are in each
+// ServedResult.Err.
+func (s *Server) QueryBatch(ctx context.Context, ranges []Range) []*ServedResult {
+	out := make([]*ServedResult, len(ranges))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i int, rg Range) {
+			defer wg.Done()
+			out[i] = fromResponse(s.s.Submit(ctx, rg.Lo, rg.Hi))
+		}(i, rg)
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats snapshots the serving metrics.
+func (s *Server) Stats() ServerStats { return fromServeStats(s.s.Stats()) }
+
+// Close stops admission, answers every already-admitted request, and waits
+// for the executors to drain. Idempotent; queries after Close return
+// ErrServerClosed.
+func (s *Server) Close() error { return s.s.Close() }
+
+// indexBackend adapts an unsharded Index to the serving backend contract as
+// a single shard, including batch-wide transient retries under the server's
+// retry policy.
+type indexBackend struct{ ix *Index }
+
+func (b indexBackend) Shards() int { return 1 }
+
+func (b indexBackend) QueryBatch(ctx context.Context, rs []index.Range, eo shard.ExecOptions) ([]*cbitmap.Bitmap, index.QueryStats, []shard.ShardError, error) {
+	max := eo.Retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var total index.QueryStats
+	for attempt := 1; ; attempt++ {
+		bms, st, err := b.ix.ax.QueryBatchContext(ctx, rs)
+		total.Add(st)
+		if err == nil || attempt >= max || !errors.Is(err, iomodel.ErrTransientRead) {
+			return bms, total, nil, err
+		}
+		if d := eo.Retry.Delay(attempt, 0); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, total, nil, ctx.Err()
+			case <-t.C:
+			}
+		} else if cerr := ctx.Err(); cerr != nil {
+			return nil, total, nil, cerr
+		}
+		total.RetriedReads++
+	}
+}

@@ -79,11 +79,26 @@ type RetryPolicy struct {
 	// MaxAttempts is the total number of attempts per shard operation,
 	// including the first (values < 1 mean 1).
 	MaxAttempts int
-	// Backoff is the sleep before the first retry, doubling per attempt and
-	// capped at MaxBackoff when MaxBackoff > 0. Waits honour context
-	// cancellation.
+	// Backoff is the base sleep before the first retry, doubling per attempt
+	// and capped at MaxBackoff when MaxBackoff > 0, then jittered to a
+	// deterministic point in [base/2, base) drawn from (JitterSeed, shard,
+	// attempt) — concurrent per-shard retries decorrelate instead of
+	// convoying, and a fixed seed reproduces the exact schedule. Waits honour
+	// context cancellation.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (zero is a valid
+	// seed).
+	JitterSeed int64
+}
+
+func (p RetryPolicy) toInternal() shard.RetryPolicy {
+	return shard.RetryPolicy{
+		MaxAttempts: p.MaxAttempts,
+		Backoff:     p.Backoff,
+		MaxBackoff:  p.MaxBackoff,
+		JitterSeed:  p.JitterSeed,
+	}
 }
 
 // QueryOptions configures one fault-tolerant query execution.
@@ -99,11 +114,7 @@ type QueryOptions struct {
 
 func (qo QueryOptions) toInternal() shard.ExecOptions {
 	return shard.ExecOptions{
-		Retry: shard.RetryPolicy{
-			MaxAttempts: qo.Retry.MaxAttempts,
-			Backoff:     qo.Retry.Backoff,
-			MaxBackoff:  qo.Retry.MaxBackoff,
-		},
+		Retry:        qo.Retry.toInternal(),
 		AllowPartial: qo.AllowPartial,
 	}
 }
